@@ -1,0 +1,29 @@
+"""Ablations: contribution of each filtering/reuse technique (DESIGN.md)."""
+
+import pytest
+
+from repro.bench.experiments import ABLATION_CONFIGS, _outcomes, ablation
+
+
+@pytest.mark.parametrize("label,flags", ABLATION_CONFIGS, ids=lambda v: str(v))
+def test_ablation_configuration(once, label, flags):
+    out = once(_outcomes, 30_000, 1000, "alae", engine_flags=flags)
+    assert out.total_hits > 0
+
+
+def test_ablation_shape(once):
+    """Every toggle preserves the answer set; each technique contributes."""
+    _title, _headers, rows, _note = once(ablation)
+    assert rows
+    full = _outcomes(30_000, 1000, "alae", engine_flags=())
+    for _label, flags in ABLATION_CONFIGS[1:]:
+        variant = _outcomes(30_000, 1000, "alae", engine_flags=flags)
+        assert variant.total_hits == full.total_hits  # exactness
+    no_reuse = _outcomes(
+        30_000, 1000, "alae", engine_flags=(("use_reuse", False),)
+    )
+    assert no_reuse.reused == 0
+    no_score = _outcomes(
+        30_000, 1000, "alae", engine_flags=(("use_score_filter", False),)
+    )
+    assert no_score.calculated >= full.calculated

@@ -1,0 +1,22 @@
+"""Figure 10: filtering and reusing ratios per scoring scheme."""
+
+from repro.bench.experiments import FIG9_M, FIG9_N, _outcomes, fig10
+from repro.scoring.scheme import BLAST_DNA_SCHEMES
+
+
+def test_fig10_shape(once):
+    """Weak-mismatch scheme collapses filtering; ratios stay in [0, 1)."""
+    _title, _headers, rows, _note = once(fig10)
+    assert len(rows) == len(BLAST_DNA_SCHEMES)
+    ratios = {}
+    for name, scheme in BLAST_DNA_SCHEMES.items():
+        a = _outcomes(FIG9_N, FIG9_M, "alae", scheme)
+        b = _outcomes(FIG9_N, FIG9_M, "bwtsw", scheme)
+        filtering = max(0.0, (b.calculated - a.calculated) / b.calculated)
+        reusing = a.reused / a.accessed if a.accessed else 0.0
+        assert 0.0 <= filtering < 1.0
+        assert 0.0 <= reusing < 1.0
+        ratios[name] = filtering
+    # Filtering stays effective under every scheme; the absolute entry
+    # explosion of <1,-1,-5,-2> is asserted in bench_fig9/bench_table5.
+    assert all(r > 0.05 for r in ratios.values())

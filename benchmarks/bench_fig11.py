@@ -1,0 +1,34 @@
+"""Figure 11: index sizes (BWT index + dominate index), DNA and protein."""
+
+from repro.alphabet import PROTEIN
+from repro.bench.experiments import CACHE, fig11
+from repro.scoring.scheme import ScoringScheme
+
+
+def test_fig11_shape(once):
+    """BWT index grows with n; protein dominate index shrinks relatively."""
+    _title, _headers, rows, _note = once(fig11)
+    dna_rows = [r for r in rows if r[0] == "DNA"]
+    protein_rows = [r for r in rows if r[0] == "protein"]
+    bwt_sizes = [r[2] for r in dna_rows]
+    assert bwt_sizes == sorted(bwt_sizes)  # monotone in n
+    # DNA dominate index is negligible next to the BWT index (paper 7.5).
+    for row in dna_rows:
+        assert row[3] <= max(1, row[2] // 5)
+    # Protein: the dominate/BWT ratio falls as the text grows.
+    ratios = [row[3] / max(1, row[2]) for row in protein_rows]
+    assert ratios[-1] < ratios[0]
+
+
+def test_dna_index_build(once):
+    workload = CACHE.workload(80_000, 200)
+    engine = once(lambda: CACHE.alae(workload.text))
+    sizes = engine.index_size_bytes()
+    assert sizes["total"] == sizes["bwt_index"] + sizes["dominate_index"]
+
+
+def test_protein_index_build(once):
+    workload = CACHE.workload(20_000, 200, alphabet=PROTEIN)
+    scheme = ScoringScheme(1, -3, -11, -1)
+    engine = once(lambda: CACHE.alae(workload.text, scheme, PROTEIN))
+    assert engine.index_size_bytes()["dominate_index"] > 0

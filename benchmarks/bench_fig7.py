@@ -1,0 +1,28 @@
+"""Figure 7: filtering ratio and reusing ratio vs query/text length."""
+
+import pytest
+
+from repro.bench.experiments import _outcomes, fig7
+
+
+@pytest.mark.parametrize("n", (20_000, 40_000))
+@pytest.mark.parametrize("m", (200, 1000, 4000))
+def test_ratio_configuration(once, n, m):
+    out = once(_outcomes, n, m, "alae")
+    assert out.accessed > 0
+
+
+def test_fig7_shape(once):
+    """Filtering ratio positive everywhere; reusing ratio grows with m."""
+    _title, _headers, rows, _note = once(fig7)
+    assert rows
+    for n in (20_000, 40_000):
+        reuse_by_m = []
+        for m in (200, 1000, 4000):
+            a = _outcomes(n, m, "alae")
+            b = _outcomes(n, m, "bwtsw")
+            filtering = (b.calculated - a.calculated) / b.calculated
+            assert filtering >= 0.0
+            reuse_by_m.append(a.reused / a.accessed if a.accessed else 0.0)
+        # Paper Fig. 7(b): longer queries repeat more -> more reuse.
+        assert reuse_by_m[-1] >= reuse_by_m[0]

@@ -1,0 +1,24 @@
+"""Figure 8: ALAE alignment time across E-values (score-filter sensitivity)."""
+
+import pytest
+
+from repro.bench.experiments import DEFAULT_SCHEME, _outcomes, fig8
+
+
+@pytest.mark.parametrize("e_value", (1e-15, 1e-5, 10.0))
+@pytest.mark.parametrize("m", (500, 2000, 4000))
+def test_evalue_configuration(once, m, e_value):
+    out = once(_outcomes, 40_000, m, "alae", DEFAULT_SCHEME, e_value)
+    assert out.threshold >= 1
+
+
+def test_fig8_shape(once):
+    """Smaller E => larger H => never more hits, never more entries."""
+    _title, _headers, rows, _note = once(fig8)
+    assert rows
+    for m in (500, 2000, 4000):
+        strict = _outcomes(40_000, m, "alae", DEFAULT_SCHEME, 1e-15)
+        loose = _outcomes(40_000, m, "alae", DEFAULT_SCHEME, 10.0)
+        assert strict.threshold > loose.threshold
+        assert strict.total_hits <= loose.total_hits
+        assert strict.calculated <= loose.calculated

@@ -1,0 +1,38 @@
+"""Figure 9: effect of scoring schemes on the three engines."""
+
+import pytest
+
+from repro.bench.experiments import FIG9_M, FIG9_N, _outcomes, fig9
+from repro.scoring.scheme import BLAST_DNA_SCHEMES
+
+
+@pytest.mark.parametrize("name", list(BLAST_DNA_SCHEMES), ids=str)
+def test_alae_scheme(once, name):
+    out = once(_outcomes, FIG9_N, FIG9_M, "alae", BLAST_DNA_SCHEMES[name])
+    assert out.total_hits >= 0
+
+
+@pytest.mark.parametrize("name", list(BLAST_DNA_SCHEMES), ids=str)
+def test_bwtsw_scheme(once, name):
+    out = once(_outcomes, FIG9_N, FIG9_M, "bwtsw", BLAST_DNA_SCHEMES[name])
+    assert out.total_hits >= 0
+
+
+@pytest.mark.parametrize("name", list(BLAST_DNA_SCHEMES), ids=str)
+def test_blast_scheme(once, name):
+    out = once(_outcomes, FIG9_N, FIG9_M, "blast", BLAST_DNA_SCHEMES[name])
+    assert out.total_hits >= 0
+
+
+def test_fig9_shape(once):
+    """Exact engines are scheme-sensitive; <1,-1,-5,-2> is ALAE's worst case."""
+    _title, _headers, rows, _note = once(fig9)
+    assert len(rows) == len(BLAST_DNA_SCHEMES)
+    entries = {
+        name: _outcomes(FIG9_N, FIG9_M, "alae", scheme).calculated
+        for name, scheme in BLAST_DNA_SCHEMES.items()
+    }
+    # The weak-mismatch scheme calculates the most entries (paper Sec. 7.4).
+    assert entries["<1,-1,-5,-2>"] == max(entries.values())
+    # Harsher mismatches help: <1,-4,...> never exceeds <1,-3,...>.
+    assert entries["<1,-4,-5,-2>"] <= entries["<1,-3,-5,-2>"]

@@ -1,0 +1,44 @@
+"""Section 6: the analytical upper bounds, asserted to the paper's digits."""
+
+import pytest
+
+from repro.bench.experiments import section6
+from repro.core.analysis import entry_bound, paper_bound_extremes
+from repro.scoring.scheme import DEFAULT_SCHEME
+
+
+def test_section6_exact_reproduction(once):
+    _title, _headers, rows, _note = once(section6)
+    assert len(rows) == 6
+    dna_lo, dna_hi = paper_bound_extremes(4)
+    prot_lo, prot_hi = paper_bound_extremes(20)
+    default = entry_bound(DEFAULT_SCHEME, 4)
+    # The paper's quoted constants, to their printed precision.
+    assert dna_lo.coefficient == pytest.approx(4.50, abs=5e-3)
+    assert dna_lo.exponent == pytest.approx(0.520, abs=1e-3)
+    assert dna_hi.coefficient == pytest.approx(9.05, abs=5e-3)
+    assert dna_hi.exponent == pytest.approx(0.896, abs=1e-3)
+    assert default.coefficient == pytest.approx(4.47, abs=5e-3)
+    assert default.exponent == pytest.approx(0.6038, abs=1e-4)
+    assert prot_lo.coefficient == pytest.approx(8.28, abs=5e-3)
+    assert prot_lo.exponent == pytest.approx(0.364, abs=1e-3)
+    assert prot_hi.coefficient == pytest.approx(7.49, abs=5e-3)
+    assert prot_hi.exponent == pytest.approx(0.723, abs=1e-3)
+
+
+def test_bound_evaluation_speed(once):
+    """Evaluating the full BLAST grid is effectively free."""
+    lo, hi = once(paper_bound_extremes, 4)
+    assert lo.exponent == pytest.approx(0.520, abs=1e-3)
+    assert hi.exponent == pytest.approx(0.896, abs=1e-3)
+
+
+def test_default_bound_dominates_measured_entries(once):
+    """Eq. 4 is an upper bound: measured ALAE entries must respect it."""
+    from repro.bench.experiments import _outcomes
+
+    bound = once(entry_bound, DEFAULT_SCHEME, 4)
+    out = _outcomes(40_000, 2000, "alae")
+    # Two queries of length 2000 against n = 40,000.
+    allowed = 2 * bound.entries(2000, 40_000)
+    assert out.calculated < allowed

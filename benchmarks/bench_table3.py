@@ -1,0 +1,35 @@
+"""Table 3: alignment time and result counts while varying text length."""
+
+import pytest
+
+from repro.bench.experiments import TABLE3_M, TABLE3_NS, _outcomes, table3
+
+
+@pytest.mark.parametrize("n", TABLE3_NS)
+def test_alae_text_length(once, n):
+    out = once(_outcomes, n, TABLE3_M, "alae")
+    assert out.total_hits > 0
+
+
+@pytest.mark.parametrize("n", TABLE3_NS)
+def test_bwtsw_text_length(once, n):
+    out = once(_outcomes, n, TABLE3_M, "bwtsw")
+    assert out.total_hits > 0
+
+
+@pytest.mark.parametrize("n", TABLE3_NS)
+def test_blast_text_length(once, n):
+    out = once(_outcomes, n, TABLE3_M, "blast")
+    assert out.total_hits >= 0
+
+
+def test_table3_shape(once):
+    """Exact engines agree at every n; ALAE's filters always help."""
+    _title, _headers, rows, _note = once(table3)
+    assert rows
+    for n in TABLE3_NS:
+        alae = _outcomes(n, TABLE3_M, "alae")
+        bwt = _outcomes(n, TABLE3_M, "bwtsw")
+        assert alae.total_hits == bwt.total_hits
+        assert alae.calculated <= bwt.calculated
+        assert alae.computation_cost < bwt.computation_cost

@@ -1,0 +1,33 @@
+"""Table 4: calculated entries by cost class and total computation cost."""
+
+import pytest
+
+from repro.bench.experiments import _outcomes, _stats_of, table4
+
+
+@pytest.mark.parametrize("m", (500, 2000))
+def test_alae_entry_classes(once, m):
+    x1, x2, x3 = once(_stats_of, 40_000, m, "alae")
+    # ALAE computes a substantial share of its entries at reduced cost.
+    assert x1 > 0
+    assert x1 + x2 + x3 == _outcomes(40_000, m, "alae").calculated
+
+
+@pytest.mark.parametrize("m", (500, 2000))
+def test_bwtsw_entry_classes(once, m):
+    x1, x2, x3 = once(_stats_of, 40_000, m, "bwtsw")
+    # BWT-SW always evaluates all three recurrences: everything is x3.
+    assert x1 == 0 and x2 == 0 and x3 > 0
+
+
+def test_table4_shape(once):
+    """ALAE's cost advantage holds and (paper shape) widens with m."""
+    _title, _headers, rows, _note = once(table4)
+    assert rows
+    ratios = []
+    for m in (500, 2000):
+        a = _outcomes(40_000, m, "alae")
+        b = _outcomes(40_000, m, "bwtsw")
+        assert a.computation_cost < b.computation_cost
+        ratios.append(b.computation_cost / a.computation_cost)
+    assert ratios[-1] > 1.2  # a clear advantage at the longer query

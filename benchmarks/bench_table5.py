@@ -1,0 +1,20 @@
+"""Table 5: entry counts under the two extreme scoring schemes."""
+
+import pytest
+
+from repro.bench.experiments import TABLE5_SCHEMES, _outcomes, table5
+
+
+@pytest.mark.parametrize("scheme", TABLE5_SCHEMES, ids=str)
+def test_scheme_entry_counts(once, scheme):
+    out = once(_outcomes, 20_000, 500, "alae", scheme)
+    assert out.accessed == out.calculated + out.reused
+
+
+def test_table5_shape(once):
+    """Paper shape: <1,-1,-5,-2> calculates far more than <1,-3,-2,-2>."""
+    _title, _headers, rows, _note = once(table5)
+    weak_mismatch = _outcomes(20_000, 500, "alae", TABLE5_SCHEMES[0])
+    small_gap = _outcomes(20_000, 500, "alae", TABLE5_SCHEMES[1])
+    assert weak_mismatch.calculated > small_gap.calculated
+    assert rows[0][0] == "<1,-1,-5,-2>"

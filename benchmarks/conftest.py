@@ -1,0 +1,23 @@
+"""Shared benchmark configuration.
+
+Each benchmark measures one engine/workload configuration once (searches take
+0.1-10 s; statistical rounds would multiply a multi-minute suite), using the
+same memoised experiment layer as ``python -m repro.bench.report``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benched callable exactly once and return its result."""
+
+    def _run(func, *args, **kwargs):
+        return benchmark.pedantic(
+            func, args=args, kwargs=kwargs, rounds=1, iterations=1,
+            warmup_rounds=0,
+        )
+
+    return _run

@@ -1,0 +1,56 @@
+"""Protein motif search: find a conserved domain across a protein database.
+
+Demonstrates the sigma = 20 path: multi-sequence databases via
+SequenceDatabase, the protein scoring scheme <1,-3,-11,-1> (Sec. 7.5), and
+per-sequence hit attribution.
+
+Run:  python examples/protein_motif.py
+"""
+
+import numpy as np
+
+from repro import ALAE, PROTEIN, ScoringScheme, SequenceDatabase, mutate
+from repro.io.fasta import FastaRecord
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    scheme = ScoringScheme(1, -3, -11, -1)  # the paper's protein scheme
+
+    # A conserved "domain" planted (with drift) into several proteins.
+    domain = PROTEIN.random_sequence(40, rng)
+    records = []
+    for idx in range(6):
+        body = PROTEIN.random_sequence(800, rng)
+        if idx % 2 == 0:  # half the proteins carry a diverged domain copy
+            site = int(rng.integers(100, 600))
+            copy = mutate(domain, rng, sub_rate=0.10, indel_rate=0.0,
+                          alphabet=PROTEIN)
+            body = body[:site] + copy + body[site + len(copy):]
+        records.append(FastaRecord(header=f"protein_{idx}", sequence=body))
+    database = SequenceDatabase(records)
+    print(f"database: {len(database)} proteins, {database.total_length:,} aa")
+
+    engine = ALAE(database.text, alphabet=PROTEIN, scheme=scheme)
+    result = engine.search(domain, e_value=1e-6)
+    print(f"H = {result.threshold}, raw hits = {len(result.hits)}")
+
+    located = database.locate_hits(result.hits.hits())
+    carriers = {}
+    for hit in located:
+        best = carriers.get(hit.sequence_id)
+        if best is None or hit.score > best.score:
+            carriers[hit.sequence_id] = hit
+    print("domain carriers:")
+    for seq_id in sorted(carriers):
+        hit = carriers[seq_id]
+        print(
+            f"  {seq_id}: positions {hit.t_start}-{hit.t_end}, "
+            f"score {hit.score}"
+        )
+    expected = {f"protein_{i}" for i in range(6) if i % 2 == 0}
+    found = set(carriers)
+    print(f"expected carriers found: {sorted(found & expected)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Scoring-scheme study: how <sa,sb,sg,ss> drives ALAE's filters (Sec. 6/7.4).
+
+Prints, for each BLAST DNA scheme: the derived q / Lmax / FGOE parameters,
+the Section 6 entry-bound exponent, and measured entries on one workload.
+
+Run:  python examples/scoring_scheme_study.py
+"""
+
+import numpy as np
+
+from repro import ALAE, entry_bound, genome, sample_homologous_queries
+from repro.scoring.scheme import BLAST_DNA_SCHEMES
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    text = genome(20_000, rng, repeat_fraction=0.05)
+    query = sample_homologous_queries(text, 1, 500, rng, sub_rate=0.08)[0]
+
+    print(f"{'scheme':<14} {'q':>2} {'Lmax':>5} {'FGOE':>4} "
+          f"{'bound n-exp':>11} {'entries':>10} {'reuse%':>7} {'hits':>6}")
+    for name, scheme in BLAST_DNA_SCHEMES.items():
+        engine = ALAE(text, scheme=scheme)
+        result = engine.search(query, e_value=10.0)
+        bound = entry_bound(scheme, 4)
+        lmax = scheme.max_alignment_length(len(query), result.threshold)
+        stats = result.stats
+        print(
+            f"{name:<14} {scheme.q:>2} {lmax:>5} {scheme.fgoe_bound:>4} "
+            f"{bound.exponent:>11.4f} {stats.calculated:>10,} "
+            f"{100 * stats.reusing_ratio:>6.1f}% {len(result.hits):>6,}"
+        )
+
+    print(
+        "\nReading the table (paper Sec. 6 / 7.4): a harsher mismatch "
+        "penalty raises q\nand lowers the exponent (fewer entries); "
+        "<1,-1,-5,-2> is the worst case —\nits q = 2 prefix filter is weak "
+        "and its gap regions expand."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""repro — ALAE: Accelerating Local Alignment with Affine Gap Exactly.
+
+A from-scratch reproduction of Yang, Liu & Wang (PVLDB 5(11), 2012).
+
+Quickstart::
+
+    from repro import ALAE, DEFAULT_SCHEME, DNA
+
+    engine = ALAE("ACGT...", alphabet=DNA, scheme=DEFAULT_SCHEME)
+    result = engine.search("GCTAG...", e_value=10.0)
+    for hit in result.hits:
+        print(hit.t_start, hit.t_end, hit.p_end, hit.score)
+
+The exact baselines (:class:`BwtSw`, :func:`smith_waterman_all_hits`) return
+the identical hit set; :class:`Blast` is the heuristic comparator.
+"""
+
+from repro.align import (
+    BwtSw,
+    Hit,
+    ResultSet,
+    SearchStats,
+    basic_search,
+    smith_waterman_all_hits,
+    smith_waterman_best,
+)
+from repro.align.smith_waterman import PairwiseAlignment, align_pair
+from repro.align.types import SearchResult
+from repro.alphabet import DNA, PROTEIN, Alphabet
+from repro.blast import Blast
+from repro.core import ALAE, entry_bound, paper_bound_extremes
+from repro.data import genome, mutate, sample_homologous_queries
+from repro.errors import ReproError
+from repro.io import SequenceDatabase, parse_fasta, parse_fasta_file, write_fasta
+from repro.scoring import (
+    BLAST_DNA_SCHEMES,
+    DEFAULT_SCHEME,
+    KarlinAltschul,
+    ScoringScheme,
+)
+from repro.workloads import Workload, make_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALAE",
+    "BwtSw",
+    "Blast",
+    "smith_waterman_all_hits",
+    "smith_waterman_best",
+    "basic_search",
+    "align_pair",
+    "PairwiseAlignment",
+    "Hit",
+    "ResultSet",
+    "SearchResult",
+    "SearchStats",
+    "Alphabet",
+    "DNA",
+    "PROTEIN",
+    "ScoringScheme",
+    "DEFAULT_SCHEME",
+    "BLAST_DNA_SCHEMES",
+    "KarlinAltschul",
+    "entry_bound",
+    "paper_bound_extremes",
+    "SequenceDatabase",
+    "parse_fasta",
+    "parse_fasta_file",
+    "write_fasta",
+    "genome",
+    "mutate",
+    "sample_homologous_queries",
+    "Workload",
+    "make_workload",
+    "ReproError",
+    "__version__",
+]

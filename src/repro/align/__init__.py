@@ -1,0 +1,16 @@
+"""Alignment engines: Smith-Waterman oracle, BASIC (Alg. 1), BWT-SW baseline."""
+
+from repro.align.types import Hit, ResultSet, SearchStats
+from repro.align.smith_waterman import smith_waterman_all_hits, smith_waterman_best
+from repro.align.basic import basic_search
+from repro.align.bwt_sw import BwtSw
+
+__all__ = [
+    "Hit",
+    "ResultSet",
+    "SearchStats",
+    "smith_waterman_all_hits",
+    "smith_waterman_best",
+    "basic_search",
+    "BwtSw",
+]

@@ -1,0 +1,72 @@
+"""The BASIC algorithm (Algorithm 1): trie-path x query dense DP.
+
+For every suffix-trie path ``X`` the full anchored matrix ``M_X`` is computed
+(no pruning at all) and every prefix's scores are folded into the accumulator
+``A``.  This is the paper's starting point and our smallest oracle — it is
+O(n^2 * m) and only run on tiny inputs in tests.
+"""
+
+from __future__ import annotations
+
+from repro.align.types import ResultSet
+from repro.index.suffix_trie import SuffixTrie, TrieNode
+from repro.scoring.scheme import ScoringScheme
+
+_NEG = -(10**9)
+
+
+def _advance_dense(
+    row_m: list[int],
+    row_ga: list[int],
+    x_char: str,
+    query: str,
+    scheme: ScoringScheme,
+    depth: int,
+) -> tuple[list[int], list[int]]:
+    """One dense row of the Sec. 2.2 recurrence (columns 0..m)."""
+    m = len(query)
+    sa, sb = scheme.sa, scheme.sb
+    sg, ss = scheme.sg, scheme.ss
+    new_m = [0] * (m + 1)
+    new_ga = [_NEG] * (m + 1)
+    new_m[0] = sg + depth * ss  # M_X(i, 0) = sg + i * ss
+    gb = _NEG  # Gb(i, 0) = -inf
+    for j in range(1, m + 1):
+        ga = max(row_ga[j] + ss, row_m[j] + sg + ss)
+        gb = max(gb + ss, new_m[j - 1] + sg + ss)
+        diag = row_m[j - 1] + (sa if x_char == query[j - 1] else sb)
+        new_m[j] = max(diag, ga, gb)
+        new_ga[j] = ga
+    return new_m, new_ga
+
+
+def basic_search(
+    text: str,
+    query: str,
+    scheme: ScoringScheme,
+    threshold: int,
+) -> ResultSet:
+    """All ``A(i, j) >= threshold`` cells via the BASIC algorithm."""
+    results = ResultSet()
+    if not text or not query or threshold <= 0:
+        return results
+    m = len(query)
+    trie = SuffixTrie(text)
+
+    root_m = [0] * (m + 1)
+    root_ga = [_NEG] * (m + 1)
+
+    # Preorder walk carrying the dense DP rows down the trie.
+    stack: list[tuple[str, TrieNode, list[int], list[int]]] = [
+        (c, node, root_m, root_ga) for c, node in sorted(trie.root.children.items())
+    ]
+    while stack:
+        char, node, prev_m, prev_ga = stack.pop()
+        row_m, row_ga = _advance_dense(prev_m, prev_ga, char, query, scheme, node.depth)
+        for j in range(1, m + 1):
+            if row_m[j] >= threshold:
+                for end in node.ends:
+                    results.add(end, j, row_m[j], end - node.depth + 1)
+        for c, child in sorted(node.children.items()):
+            stack.append((c, child, row_m, row_ga))
+    return results

@@ -1,0 +1,232 @@
+"""Sparse affine-gap DP row advance shared by BWT-SW and ALAE gap regions.
+
+A *frontier* is the sparse representation of one DP matrix row: a dict mapping
+1-based query columns ``j`` to ``(M, Ga)`` where ``M = M_X(i, j)`` and
+``Ga = Ga(i, j)`` (best score with ``X[i]`` aligned to a gap).  ``Gb`` never
+needs storing across rows — it propagates left-to-right *within* a row, which
+is why :func:`advance_row` sweeps columns in increasing order (the paper's
+Sec. 4.3 makes the same observation when it keeps only one byte for ``Ga`` and
+a per-column vector for ``Gb``).
+
+Soundness of the pruning baked in here (mirrored by unit tests):
+
+* cells with ``M <= live`` are dropped entirely — Theorem 2: a non-positive
+  anchored prefix is dominated by a later-starting suffix path, and the
+  ``live > 0`` variants encode the threshold/Lmax budget arguments;
+* ``Ga``/``Gb`` values ``<= 0`` are clamped to ``-inf``: since
+  ``M >= Ga, M >= Gb`` and pure gap chains only decay, a non-positive
+  auxiliary score can never participate in a live cell later.
+"""
+
+from __future__ import annotations
+
+from repro.scoring.scheme import ScoringScheme
+
+#: -infinity sentinel for scores (large enough to survive additions).
+NEG = -(10**9)
+#: Values below this are treated as absent.
+NEG_HALF = NEG // 2
+
+#: A frontier cell: (M, Ga).
+Cell = tuple[int, int]
+Frontier = dict[int, Cell]
+
+
+class CostCounter:
+    """Accumulates per-cell calculation counts into cost classes.
+
+    ``mode='alae'`` classifies each cell by how many of its three recurrence
+    inputs (diagonal, vertical ``Ga``, horizontal ``Gb``) were live — the
+    Table 4 x1/x2/x3 classes.  ``mode='bwtsw'`` charges every cell x3, since
+    BWT-SW always evaluates all three auxiliary scores.
+    """
+
+    __slots__ = ("x1", "x2", "x3", "_bwtsw")
+
+    def __init__(self, mode: str = "alae") -> None:
+        self.x1 = 0
+        self.x2 = 0
+        self.x3 = 0
+        self._bwtsw = mode == "bwtsw"
+
+    def cell(self, live_inputs: int) -> None:
+        """Record one calculated entry with the given number of live inputs."""
+        if self._bwtsw or live_inputs >= 3:
+            self.x3 += 1
+        elif live_inputs == 2:
+            self.x2 += 1
+        else:
+            self.x1 += 1
+
+    @property
+    def total(self) -> int:
+        return self.x1 + self.x2 + self.x3
+
+
+def advance_row(
+    frontier: Frontier,
+    x_char: str,
+    query: str,
+    m: int,
+    scheme: ScoringScheme,
+    live: int,
+    counter: CostCounter | None = None,
+    dense: bool = False,
+) -> Frontier:
+    """Compute row ``i`` of the anchored DP from row ``i - 1``.
+
+    Parameters
+    ----------
+    frontier:
+        Sparse row ``i - 1``: ``{j: (M, Ga)}`` with all ``M > 0``.
+    x_char:
+        The new text character ``X[i]``.
+    query:
+        The query ``P`` as a plain 0-based string (column ``j`` reads
+        ``query[j - 1]``).
+    m:
+        Query length.
+    scheme:
+        Scoring scheme.
+    live:
+        Liveness threshold for this row: cells with ``M <= live`` are
+        dropped.  ``0`` gives plain BWT-SW pruning; ALAE passes the Theorem 2
+        bound for the row.
+    counter:
+        Optional :class:`CostCounter` receiving one event per calculated cell.
+    dense:
+        Emulate the original BWT-SW accounting: every candidate derived from
+        a live parent is *computed* (and charged — all three recurrence
+        inputs, hence the x3 class) even when its value comes out
+        non-positive and is immediately discarded.  ALAE's fork sweep
+        (``dense=False``) charges only the cells its fork geometry
+        materialises.
+
+    Returns
+    -------
+    Frontier
+        Sparse row ``i`` (possibly empty).
+    """
+    sa, sb = scheme.sa, scheme.sb
+    ss = scheme.ss
+    go = scheme.sg + scheme.ss
+
+    dead_candidates = 0
+    diag: dict[int, int] = {}
+    vert: dict[int, int] = {}
+    for j, (m_val, ga_val) in frontier.items():
+        # Vertical: Ga(i, j) = max(Ga(i-1, j) + ss, M(i-1, j) + sg + ss).
+        g = ga_val + ss
+        h = m_val + go
+        if h > g:
+            g = h
+        if g > 0:
+            vert[j] = g
+        elif dense:
+            dead_candidates += 1
+        # Diagonal into column j + 1.
+        if j < m:
+            d = m_val + (sa if query[j] == x_char else sb)
+            if d > 0:
+                j1 = j + 1
+                old = diag.get(j1)
+                if old is None or d > old:
+                    diag[j1] = d
+            elif dense:
+                dead_candidates += 1
+
+    if not diag and not vert:
+        if counter is not None and dead_candidates:
+            if counter._bwtsw:
+                counter.x3 += dead_candidates
+            else:
+                counter.x1 += dead_candidates
+        return {}
+
+    cols = sorted(set(diag) | set(vert))
+    new: Frontier = {}
+    e_val = NEG  # Gb at the column currently being processed
+    ci = 0
+    j = cols[0]
+    ncols = len(cols)
+    n1 = n2 = n3 = 0  # local cost-class tallies, flushed once at the end
+    diag_get = diag.get
+    vert_get = vert.get
+    while j <= m:
+        if ci < ncols and cols[ci] == j:
+            d = diag_get(j, NEG)
+            g = vert_get(j, NEG)
+            ci += 1
+        else:
+            # Column exists only through horizontal gap extension.
+            if e_val <= live:
+                if ci >= ncols:
+                    break
+                e_val = NEG
+                j = cols[ci]
+                continue
+            d = NEG
+            g = NEG
+
+        m_val = d
+        if g > m_val:
+            m_val = g
+        if e_val > m_val:
+            m_val = e_val
+
+        if counter is not None:
+            inputs = (
+                (1 if d > NEG_HALF else 0)
+                + (1 if g > NEG_HALF else 0)
+                + (1 if e_val > NEG_HALF else 0)
+            )
+            if inputs >= 3:
+                n3 += 1
+            elif inputs == 2:
+                n2 += 1
+            else:
+                n1 += 1
+
+        if m_val > live:
+            new[j] = (m_val, g if g > NEG_HALF else NEG)
+            feed = m_val + go
+        else:
+            feed = NEG
+
+        # Gb for the next column: max(Gb + ss, M + sg + ss), clamped at 0.
+        e_val = e_val + ss if e_val > NEG_HALF else NEG
+        if feed > e_val:
+            e_val = feed
+        if e_val <= 0:
+            e_val = NEG
+
+        if ci >= ncols and e_val <= live:
+            break
+        j += 1
+    if counter is not None:
+        if counter._bwtsw:
+            counter.x3 += n1 + n2 + n3 + dead_candidates
+        else:
+            counter.x1 += n1 + dead_candidates
+            counter.x2 += n2
+            counter.x3 += n3
+    return new
+
+
+def dense_seed_row(
+    x_char: str,
+    char_positions: dict[str, list[int]],
+    scheme: ScoringScheme,
+    counter: CostCounter | None = None,
+    m: int = 0,
+) -> Frontier:
+    """Row 1 of BWT-SW's matrix for a path starting with ``x_char``.
+
+    Row 0 is all zeros (``M_X(0, j) = 0``), so row 1 is ``delta(X[1], P[j])``
+    at every column — positive exactly at the match columns.  BWT-SW computes
+    the full dense row, so the counter is charged ``m`` cells.
+    """
+    if counter is not None:
+        for _ in range(m):
+            counter.cell(3)
+    return {j: (scheme.sa, NEG) for j in char_positions.get(x_char, [])}

@@ -1,0 +1,203 @@
+"""Smith-Waterman local alignment with affine gaps (Sec. 2.4 baseline).
+
+``smith_waterman_all_hits`` computes the full ``H(i, j)`` matrix semantics of
+the paper's local-alignment problem — ``H(i, j) = max(A(i, j), 0)`` — and
+returns every cell with score ``>= threshold``.  It is the ground-truth
+oracle for ALAE/BWT-SW equivalence tests and the "Smith-Waterman" row of the
+experiments.
+
+Vectorisation: the matrix is swept one *query* row at a time over numpy
+vectors of text length.  The vertical gap recurrence ``F`` depends only on
+the previous row, so it vectorises directly.  The horizontal recurrence
+``E(i, j) = max(E(i, j-1) + ss, H(i, j-1) + sg + ss)`` is sequential, but
+within a row only gap-opens from diagonal/vertical scores can matter
+(chaining two horizontal gaps costs an extra ``sg`` versus one longer gap,
+and opening from a 0-restart is negative), so
+
+    E(i, j) = max_{k < j} (A(i, k) + sg + ss * (j - k))
+            = ss * j + (sg) + running-max of (A(i, k) - ss * k)
+
+which is one ``np.maximum.accumulate`` — the classic prefix-max scan.
+
+``align_pair`` is a small traceback DP used to materialise the operations of
+one reported hit (windowed, so it stays cheap even for large texts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.align.types import ResultSet
+from repro.scoring.scheme import ScoringScheme
+
+_NEG = np.int64(-(10**9))
+
+
+def smith_waterman_all_hits(
+    text: str,
+    query: str,
+    scheme: ScoringScheme,
+    threshold: int,
+) -> ResultSet:
+    """All cells ``(t_end, p_end)`` with local-alignment score >= threshold.
+
+    Positions in the returned :class:`ResultSet` are 1-based; ``t_start`` is
+    not tracked (0) — use :func:`align_pair` to recover full alignments.
+    """
+    n, m = len(text), len(query)
+    results = ResultSet()
+    if n == 0 or m == 0 or threshold <= 0:
+        return results
+
+    sa, sb = scheme.sa, scheme.sb
+    ss, go = scheme.ss, scheme.sg + scheme.ss
+
+    t_codes = np.frombuffer(text.encode("ascii"), dtype=np.uint8)
+    idx = np.arange(1, n + 1, dtype=np.int64)
+
+    h_prev = np.zeros(n + 1, dtype=np.int64)  # H(i-1, 0..n)
+    f_prev = np.full(n + 1, _NEG, dtype=np.int64)  # F(i-1, 0..n)
+
+    for i in range(1, m + 1):
+        q_code = ord(query[i - 1])
+        delta = np.where(t_codes == q_code, sa, sb).astype(np.int64)
+
+        # Vertical gaps: F(i, j) = max(F(i-1, j) + ss, H(i-1, j) + go).
+        f_row = np.maximum(f_prev + ss, h_prev + go)
+
+        # Diagonal + vertical (no horizontal yet).
+        a_row = np.empty(n + 1, dtype=np.int64)
+        a_row[0] = _NEG
+        a_row[1:] = np.maximum(h_prev[:-1] + delta, f_row[1:])
+
+        # Horizontal gaps via prefix-max scan (see module docstring).
+        b = a_row[1:] - ss * idx
+        prefix = np.maximum.accumulate(b)
+        e_row = np.full(n + 1, _NEG, dtype=np.int64)
+        e_row[2:] = prefix[:-1] + go - ss + ss * idx[1:]
+
+        h_row = np.maximum(np.maximum(a_row, e_row), 0)
+        h_row[0] = 0
+
+        hit_cols = np.nonzero(h_row[1:] >= threshold)[0]
+        for j0 in hit_cols:
+            results.add(int(j0) + 1, i, int(h_row[j0 + 1]))
+
+        h_prev = h_row
+        f_prev = f_row
+    return results
+
+
+def smith_waterman_best(text: str, query: str, scheme: ScoringScheme) -> int:
+    """The single best local-alignment score (``sim`` over all substrings)."""
+    n, m = len(text), len(query)
+    if n == 0 or m == 0:
+        return 0
+    sa, sb = scheme.sa, scheme.sb
+    ss, go = scheme.ss, scheme.sg + scheme.ss
+    t_codes = np.frombuffer(text.encode("ascii"), dtype=np.uint8)
+    idx = np.arange(1, n + 1, dtype=np.int64)
+    h_prev = np.zeros(n + 1, dtype=np.int64)
+    f_prev = np.full(n + 1, _NEG, dtype=np.int64)
+    best = 0
+    for i in range(1, m + 1):
+        delta = np.where(t_codes == ord(query[i - 1]), sa, sb).astype(np.int64)
+        f_row = np.maximum(f_prev + ss, h_prev + go)
+        a_row = np.empty(n + 1, dtype=np.int64)
+        a_row[0] = _NEG
+        a_row[1:] = np.maximum(h_prev[:-1] + delta, f_row[1:])
+        b = a_row[1:] - ss * idx
+        prefix = np.maximum.accumulate(b)
+        e_row = np.full(n + 1, _NEG, dtype=np.int64)
+        e_row[2:] = prefix[:-1] + go - ss + ss * idx[1:]
+        h_row = np.maximum(np.maximum(a_row, e_row), 0)
+        h_row[0] = 0
+        best = max(best, int(h_row.max()))
+        h_prev, f_prev = h_row, f_row
+    return best
+
+
+@dataclass(frozen=True)
+class PairwiseAlignment:
+    """A fully materialised alignment between two (sub)strings.
+
+    ``ops`` is a string over ``M`` (match), ``X`` (mismatch), ``I`` (gap in
+    the first sequence / insertion of a second-sequence char), ``D`` (gap in
+    the second sequence).
+    """
+
+    score: int
+    s1_start: int
+    s1_end: int
+    s2_start: int
+    s2_end: int
+    ops: str
+
+    def identity(self) -> float:
+        """Fraction of alignment columns that are matches."""
+        return self.ops.count("M") / len(self.ops) if self.ops else 0.0
+
+
+def align_pair(s1: str, s2: str, scheme: ScoringScheme) -> PairwiseAlignment:
+    """Best local alignment between two strings with full traceback.
+
+    Plain O(|s1| * |s2|) DP with three matrices — intended for short windows
+    (materialising one hit), not whole databases.
+    """
+    n1, n2 = len(s1), len(s2)
+    sa, sb = scheme.sa, scheme.sb
+    ss, go = scheme.ss, scheme.sg + scheme.ss
+    neg = -(10**9)
+
+    h = [[0] * (n2 + 1) for _ in range(n1 + 1)]
+    f = [[neg] * (n2 + 1) for _ in range(n1 + 1)]  # gap in s2 (consume s1)
+    e = [[neg] * (n2 + 1) for _ in range(n1 + 1)]  # gap in s1 (consume s2)
+    best, bi, bj = 0, 0, 0
+    for i in range(1, n1 + 1):
+        for j in range(1, n2 + 1):
+            f[i][j] = max(f[i - 1][j] + ss, h[i - 1][j] + go)
+            e[i][j] = max(e[i][j - 1] + ss, h[i][j - 1] + go)
+            d = h[i - 1][j - 1] + (sa if s1[i - 1] == s2[j - 1] else sb)
+            val = max(0, d, f[i][j], e[i][j])
+            h[i][j] = val
+            if val > best:
+                best, bi, bj = val, i, j
+    if best == 0:
+        return PairwiseAlignment(0, 0, 0, 0, 0, "")
+
+    # Traceback from (bi, bj) until a 0 cell in H-state.
+    ops: list[str] = []
+    i, j, state = bi, bj, "h"
+    while i > 0 and j > 0:
+        if state == "h":
+            if h[i][j] == 0:
+                break
+            d = h[i - 1][j - 1] + (sa if s1[i - 1] == s2[j - 1] else sb)
+            if h[i][j] == d:
+                ops.append("M" if s1[i - 1] == s2[j - 1] else "X")
+                i, j = i - 1, j - 1
+            elif h[i][j] == f[i][j]:
+                state = "f"
+            else:
+                state = "e"
+        elif state == "f":
+            ops.append("D")
+            if f[i][j] == h[i - 1][j] + go:
+                state = "h"
+            i -= 1
+        else:
+            ops.append("I")
+            if e[i][j] == h[i][j - 1] + go:
+                state = "h"
+            j -= 1
+    ops.reverse()
+    return PairwiseAlignment(
+        score=best,
+        s1_start=i + 1,
+        s1_end=bi,
+        s2_start=j + 1,
+        s2_end=bj,
+        ops="".join(ops),
+    )

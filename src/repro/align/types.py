@@ -1,0 +1,154 @@
+"""Result and statistics types shared by every alignment engine.
+
+The paper's answer object is the accumulator ``A(i, j)`` (Table 1): for each
+end-position pair (``i`` in the text, ``j`` in the query) the best alignment
+score of substrings ending there, together with the text start position of
+that best alignment.  :class:`ResultSet` implements exactly this max-dedup
+semantics, so ALAE / BWT-SW / BASIC / Smith-Waterman results can be compared
+for equality in tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Hit:
+    """One local-alignment answer: ``A(t_end, p_end)`` at or above threshold.
+
+    Positions are 1-based inclusive.  ``t_start`` is the text start of the
+    best-scoring alignment ending at ``(t_end, p_end)`` (``A(i, j).pos`` in
+    the paper); engines that do not track starts (the vectorised
+    Smith-Waterman sweep) leave it at 0.
+    """
+
+    t_end: int
+    p_end: int
+    score: int
+    t_start: int = 0
+
+    def key(self) -> tuple[int, int]:
+        """The ``A`` cell this hit occupies."""
+        return (self.t_end, self.p_end)
+
+
+class ResultSet:
+    """Max-dedup accumulator over ``(t_end, p_end)`` cells."""
+
+    def __init__(self) -> None:
+        self._cells: dict[tuple[int, int], tuple[int, int]] = {}
+
+    def add(self, t_end: int, p_end: int, score: int, t_start: int = 0) -> None:
+        """Record a candidate alignment, keeping the best score per cell.
+
+        Ties prefer the smaller (earlier) text start for determinism.
+        """
+        key = (t_end, p_end)
+        cur = self._cells.get(key)
+        if cur is None or score > cur[0] or (score == cur[0] and t_start < cur[1]):
+            self._cells[key] = (score, t_start)
+
+    def merge(self, other: "ResultSet") -> None:
+        """Fold another result set into this one (max per cell)."""
+        for (t_end, p_end), (score, t_start) in other._cells.items():
+            self.add(t_end, p_end, score, t_start)
+
+    def hits(self) -> list[Hit]:
+        """All hits, sorted by (t_end, p_end)."""
+        return [
+            Hit(t_end=te, p_end=pe, score=sc, t_start=ts)
+            for (te, pe), (sc, ts) in sorted(self._cells.items())
+        ]
+
+    def score_of(self, t_end: int, p_end: int) -> int | None:
+        """Best score recorded at a cell, or ``None``."""
+        cell = self._cells.get((t_end, p_end))
+        return cell[0] if cell else None
+
+    def as_score_set(self) -> set[tuple[int, int, int]]:
+        """``{(t_end, p_end, score)}`` — the engine-equivalence comparison key."""
+        return {
+            (te, pe, sc) for (te, pe), (sc, _ts) in self._cells.items()
+        }
+
+    def best(self) -> Hit | None:
+        """The single highest-scoring hit (ties: smallest cell)."""
+        if not self._cells:
+            return None
+        (te, pe), (sc, ts) = max(
+            self._cells.items(), key=lambda kv: (kv[1][0], (-kv[0][0], -kv[0][1]))
+        )
+        return Hit(t_end=te, p_end=pe, score=sc, t_start=ts)
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __iter__(self):
+        return iter(self.hits())
+
+    def __contains__(self, key: tuple[int, int]) -> bool:
+        return key in self._cells
+
+
+@dataclass
+class SearchStats:
+    """Entry accounting for one search (Sec. 7.2 / Table 4 semantics).
+
+    * ``calculated_x1/2/3`` — entries computed with 1, 2 or 3 live recurrence
+      inputs (NGR cells via Eq. 3 are x1; full gap-region cells are x3).
+    * ``reused`` — entries whose scores were copied from a previous fork
+      (Sec. 4); ``accessed = calculated + reused`` (Eq. 6).
+    * fork/gram counters expose what each filter pruned.
+    """
+
+    calculated_x1: int = 0
+    calculated_x2: int = 0
+    calculated_x3: int = 0
+    reused: int = 0
+    emr_assigned: int = 0
+    forks_seeded: int = 0
+    forks_skipped_domination: int = 0
+    forks_skipped_global: int = 0
+    grams_absent_in_text: int = 0
+    nodes_visited: int = 0
+    elapsed_seconds: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def calculated(self) -> int:
+        """Total calculated entries regardless of cost class."""
+        return self.calculated_x1 + self.calculated_x2 + self.calculated_x3
+
+    @property
+    def accessed(self) -> int:
+        """Calculated + reused entries (denominator of Eq. 6)."""
+        return self.calculated + self.reused
+
+    @property
+    def computation_cost(self) -> int:
+        """Cost-weighted entry count (Table 4's rightmost column)."""
+        return (
+            self.calculated_x1 + 2 * self.calculated_x2 + 3 * self.calculated_x3
+        )
+
+    @property
+    def reusing_ratio(self) -> float:
+        """Eq. 6: reused / accessed (0 when nothing was accessed)."""
+        return self.reused / self.accessed if self.accessed else 0.0
+
+    def filtering_ratio(self, baseline_calculated: int) -> float:
+        """Eq. 5 against a baseline (BWT-SW) calculated-entry count."""
+        if baseline_calculated <= 0:
+            return 0.0
+        filtered = max(0, baseline_calculated - self.calculated)
+        return filtered / baseline_calculated
+
+
+@dataclass
+class SearchResult:
+    """Hits plus statistics plus the resolved threshold of one search."""
+
+    hits: ResultSet
+    stats: SearchStats
+    threshold: int

@@ -1,0 +1,5 @@
+"""Biosequence alphabets (DNA, protein) and validation/encoding helpers."""
+
+from repro.alphabet.alphabet import Alphabet, DNA, PROTEIN
+
+__all__ = ["Alphabet", "DNA", "PROTEIN"]

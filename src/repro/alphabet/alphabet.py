@@ -1,0 +1,113 @@
+"""Alphabets for biosequences.
+
+The paper (Sec. 2) works over an alphabet ``Sigma`` of ``sigma`` characters:
+DNA (``sigma = 4``) and protein (``sigma = 20``).  An :class:`Alphabet` bundles
+the character set with encoding/decoding utilities used by the index layer
+(the FM-index stores sequences as small-integer numpy arrays) and by the
+synthetic-data generators.
+
+A dedicated *sentinel* character ``$`` (smaller than every alphabet character,
+as in the Burrows-Wheeler construction of Sec. 2.3) and a *separator* ``#``
+(used when concatenating a collection of sequences into one text, Sec. 2.2)
+are reserved and never part of the alphabet itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import AlphabetError
+
+SENTINEL = "$"
+SEPARATOR = "#"
+
+
+@dataclass(frozen=True)
+class Alphabet:
+    """An ordered character set with encode/decode helpers.
+
+    Parameters
+    ----------
+    name:
+        Human-readable name (``"DNA"``, ``"protein"``).
+    chars:
+        The alphabet characters in lexicographic order.
+    """
+
+    name: str
+    chars: str
+    _index: dict = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if len(set(self.chars)) != len(self.chars):
+            raise AlphabetError(f"duplicate characters in alphabet {self.name!r}")
+        if SENTINEL in self.chars or SEPARATOR in self.chars:
+            raise AlphabetError(
+                f"alphabet {self.name!r} may not contain reserved characters "
+                f"{SENTINEL!r} / {SEPARATOR!r}"
+            )
+        if sorted(self.chars) != list(self.chars):
+            raise AlphabetError(f"alphabet {self.name!r} must be sorted")
+        object.__setattr__(self, "_index", {c: i for i, c in enumerate(self.chars)})
+
+    @property
+    def size(self) -> int:
+        """``sigma``, the number of characters."""
+        return len(self.chars)
+
+    def __len__(self) -> int:
+        return len(self.chars)
+
+    def __contains__(self, char: str) -> bool:
+        return char in self._index
+
+    def index(self, char: str) -> int:
+        """Return the 0-based code of ``char``.
+
+        Raises :class:`AlphabetError` for characters outside the alphabet.
+        """
+        try:
+            return self._index[char]
+        except KeyError:
+            raise AlphabetError(
+                f"character {char!r} not in alphabet {self.name!r}"
+            ) from None
+
+    def validate(self, sequence: str) -> None:
+        """Raise :class:`AlphabetError` if ``sequence`` has foreign characters."""
+        bad = set(sequence) - set(self.chars)
+        if bad:
+            raise AlphabetError(
+                f"sequence contains characters {sorted(bad)!r} outside "
+                f"alphabet {self.name!r}"
+            )
+
+    def is_valid(self, sequence: str) -> bool:
+        """Return ``True`` iff every character of ``sequence`` is in the alphabet."""
+        return not (set(sequence) - set(self.chars))
+
+    def encode(self, sequence: str) -> np.ndarray:
+        """Encode ``sequence`` to a ``uint8`` numpy array of character codes."""
+        self.validate(sequence)
+        table = np.full(256, 255, dtype=np.uint8)
+        for char, code in self._index.items():
+            table[ord(char)] = code
+        return table[np.frombuffer(sequence.encode("ascii"), dtype=np.uint8)]
+
+    def decode(self, codes: np.ndarray) -> str:
+        """Inverse of :meth:`encode`."""
+        chars = np.frombuffer(self.chars.encode("ascii"), dtype=np.uint8)
+        return bytes(chars[np.asarray(codes, dtype=np.uint8)]).decode("ascii")
+
+    def random_sequence(self, length: int, rng: np.random.Generator) -> str:
+        """Draw a uniform random sequence of ``length`` characters."""
+        if length < 0:
+            raise AlphabetError("length must be non-negative")
+        codes = rng.integers(0, self.size, size=length)
+        return "".join(self.chars[c] for c in codes)
+
+
+DNA = Alphabet("DNA", "ACGT")
+PROTEIN = Alphabet("protein", "ACDEFGHIKLMNPQRSTVWY")

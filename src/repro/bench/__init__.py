@@ -1,0 +1,6 @@
+"""Benchmark harness: experiment runners for every table/figure (Sec. 7)."""
+
+from repro.bench.harness import EngineCache, SearchOutcome, run_query_set
+from repro.bench.reporting import markdown_table
+
+__all__ = ["EngineCache", "SearchOutcome", "run_query_set", "markdown_table"]

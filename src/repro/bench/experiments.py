@@ -1,0 +1,363 @@
+"""One runner per paper table/figure (Sec. 6-7), at calibrated scale.
+
+Every function returns ``(title, headers, rows, note)`` where the rows mirror
+the paper's table structure.  Results are memoised per configuration so the
+pytest benchmarks and the EXPERIMENTS.md generator share measurements.
+
+Scale: texts 20K-160K characters and queries 200-4000 characters (the paper
+uses 10M-1G / 1K-10M; pure-Python DP costs ~1 microsecond per entry, see
+DESIGN.md).  Engine *relationships* — who wins, how ratios move with m, n,
+E-value and scheme — are the reproduction target, not absolute times.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.bench.harness import EngineCache, SearchOutcome, run_query_set
+from repro.bench.reporting import fmt_int, fmt_ratio, fmt_seconds
+from repro.core.analysis import bwt_sw_bound, entry_bound, paper_bound_extremes
+from repro.alphabet import DNA, PROTEIN
+from repro.scoring.scheme import BLAST_DNA_SCHEMES, DEFAULT_SCHEME, ScoringScheme
+
+#: Shared engine/workload cache for the whole bench process.
+CACHE = EngineCache()
+
+#: Baseline text sizes (scaled stand-ins for the paper's 50M-1G range).
+TABLE2_N = 60_000
+TABLE2_MS = (200, 1000, 4000)
+TABLE3_M = 1000
+TABLE3_NS = (20_000, 40_000, 80_000)
+QUERIES_PER_CONFIG = 2
+
+
+@lru_cache(maxsize=None)
+def _outcomes(
+    n: int,
+    m: int,
+    engine_kind: str,
+    scheme: ScoringScheme = DEFAULT_SCHEME,
+    e_value: float = 10.0,
+    alphabet_name: str = "dna",
+    engine_flags: tuple = (),
+) -> SearchOutcome:
+    """Measure one (engine, workload, scheme, E) configuration, memoised."""
+    alphabet = DNA if alphabet_name == "dna" else PROTEIN
+    workload = CACHE.workload(
+        n, m, queries=QUERIES_PER_CONFIG, alphabet=alphabet
+    )
+    flags = dict(engine_flags)
+    if engine_kind == "alae":
+        engine = CACHE.alae(workload.text, scheme, alphabet, **flags)
+    elif engine_kind == "bwtsw":
+        engine = CACHE.bwt_sw(workload.text, scheme, alphabet)
+    elif engine_kind == "blast":
+        engine = CACHE.blast(workload.text, scheme, alphabet)
+    else:
+        raise ValueError(engine_kind)
+    return run_query_set(engine, workload.queries, engine_kind, e_value=e_value)
+
+
+# --------------------------------------------------------------- Tables 2/3
+def table2():
+    """Time + #results vs query length (paper Table 2)."""
+    headers = ["m", "engine", "time (s)", "results C", "H"]
+    rows = []
+    for m in TABLE2_MS:
+        for kind in ("alae", "blast", "bwtsw"):
+            out = _outcomes(TABLE2_N, m, kind)
+            rows.append(
+                [m, kind.upper(), fmt_seconds(out.total_seconds),
+                 fmt_int(out.total_hits), out.threshold]
+            )
+    note = (
+        f"n = {TABLE2_N:,} synthetic DNA, {QUERIES_PER_CONFIG} queries per "
+        "length, E = 10, scheme <1,-3,-5,-2>. Paper shapes preserved: the "
+        "exact engines agree on C at every m, BLAST misses most results, and "
+        "ALAE needs fewer entries at lower cost (Table 4). Wall-clock is "
+        "near parity here because both engines share this package's sparse "
+        "core (see the Known deviation note in the preamble)."
+    )
+    return "Table 2 — varying query length", headers, rows, note
+
+
+def table3():
+    """Time + #results vs text length (paper Table 3)."""
+    headers = ["n", "engine", "time (s)", "results C", "H"]
+    rows = []
+    for n in TABLE3_NS:
+        for kind in ("alae", "blast", "bwtsw"):
+            out = _outcomes(n, TABLE3_M, kind)
+            rows.append(
+                [f"{n:,}", kind.upper(), fmt_seconds(out.total_seconds),
+                 fmt_int(out.total_hits), out.threshold]
+            )
+    note = (
+        f"m = {TABLE3_M:,}, E = 10, default scheme. Both exact engines agree "
+        "on C at every n and ALAE computes fewer, cheaper entries; "
+        "wall-clock parity is the shared-substrate effect described in the "
+        "preamble."
+    )
+    return "Table 3 — varying text length", headers, rows, note
+
+
+# ------------------------------------------------------------------ Table 4
+def table4():
+    """Calculated entries by cost class (paper Table 4)."""
+    headers = ["m", "engine", "x1 entries", "x2 entries", "x3 entries",
+               "computation cost"]
+    rows = []
+    for m in (500, 2000):
+        a = _outcomes(40_000, m, "alae")
+        b = _outcomes(40_000, m, "bwtsw")
+        alae_stats = _stats_of(40_000, m, "alae")
+        bwt_stats = _stats_of(40_000, m, "bwtsw")
+        rows.append(
+            [m, "ALAE", fmt_int(alae_stats[0]), fmt_int(alae_stats[1]),
+             fmt_int(alae_stats[2]), fmt_int(a.computation_cost)]
+        )
+        rows.append(
+            [m, "BWT-SW", fmt_int(bwt_stats[0]), fmt_int(bwt_stats[1]),
+             fmt_int(bwt_stats[2]), fmt_int(b.computation_cost)]
+        )
+    note = (
+        "n = 40,000, E = 10, default scheme. BWT-SW charges every entry x3 "
+        "(it always evaluates M, Ga and Gb); ALAE computes most entries in "
+        "no-gap regions at x1. Paper shape: ALAE's cost is a fraction of "
+        "BWT-SW's and the gap widens with m."
+    )
+    return "Table 4 — entries and computation cost", headers, rows, note
+
+
+@lru_cache(maxsize=None)
+def _stats_of(n: int, m: int, kind: str, scheme: ScoringScheme = DEFAULT_SCHEME):
+    """(x1, x2, x3) classes for one configuration (re-running one query)."""
+    workload = CACHE.workload(n, m, queries=QUERIES_PER_CONFIG)
+    if kind == "alae":
+        engine = CACHE.alae(workload.text, scheme)
+    else:
+        engine = CACHE.bwt_sw(workload.text, scheme)
+    x1 = x2 = x3 = 0
+    for query in workload.queries:
+        stats = engine.search(query, e_value=10.0).stats
+        x1 += stats.calculated_x1
+        x2 += stats.calculated_x2
+        x3 += stats.calculated_x3
+    return (x1, x2, x3)
+
+
+# ------------------------------------------------------------------ Table 5
+TABLE5_SCHEMES = (ScoringScheme(1, -1, -5, -2), ScoringScheme(1, -3, -2, -2))
+
+
+def table5():
+    """Reused / accessed / calculated entries per scheme (paper Table 5)."""
+    headers = ["scheme", "reused", "accessed", "calculated"]
+    rows = []
+    for scheme in TABLE5_SCHEMES:
+        out = _outcomes(20_000, 500, "alae", scheme=scheme)
+        rows.append(
+            [str(scheme), fmt_int(out.reused), fmt_int(out.accessed),
+             fmt_int(out.calculated)]
+        )
+    note = (
+        "n = 20,000, m = 500, E = 10. Paper shape: <1,-1,-5,-2> (tiny q, "
+        "wide gap regions) calculates far more entries than <1,-3,-2,-2>."
+    )
+    return "Table 5 — entry counts for extreme schemes", headers, rows, note
+
+
+# ------------------------------------------------------------------- Fig. 7
+def fig7():
+    """Filtering and reusing ratios vs m and n (paper Fig. 7a-d)."""
+    headers = ["n", "m", "filtering ratio", "reusing ratio"]
+    rows = []
+    for n in (20_000, 40_000):
+        for m in (200, 1000, 4000):
+            a = _outcomes(n, m, "alae")
+            b = _outcomes(n, m, "bwtsw")
+            filtering = max(0.0, (b.calculated - a.calculated) / b.calculated)
+            reusing = a.reused / a.accessed if a.accessed else 0.0
+            rows.append(
+                [f"{n:,}", m, fmt_ratio(filtering), fmt_ratio(reusing)]
+            )
+    note = (
+        "E = 10, default scheme. Paper shapes: the filtering ratio is "
+        "substantial at every configuration and stable in n; the reusing "
+        "ratio grows with query length (longer queries carry more internal "
+        "repetition, Fig. 7(b))."
+    )
+    return "Figure 7 — filtering and reusing ratios", headers, rows, note
+
+
+# ------------------------------------------------------------------- Fig. 8
+def fig8():
+    """ALAE time vs E-value (paper Fig. 8)."""
+    headers = ["m", "E = 1e-15", "E = 1e-5", "E = 10"]
+    rows = []
+    for m in (500, 2000, 4000):
+        times = []
+        for e_value in (1e-15, 1e-5, 10.0):
+            out = _outcomes(40_000, m, "alae", e_value=e_value)
+            times.append(fmt_seconds(out.total_seconds))
+        rows.append([m, *times])
+    note = (
+        "n = 40,000, default scheme. Paper shape: ALAE is barely sensitive "
+        "to E (score filtering has a small effect); smaller E (larger H) is "
+        "slightly faster."
+    )
+    return "Figure 8 — effect of E-value", headers, rows, note
+
+
+# ------------------------------------------------------------------- Fig. 9
+FIG9_N, FIG9_M = 20_000, 500
+
+
+def fig9():
+    """Time per scoring scheme for the three engines (paper Fig. 9)."""
+    headers = ["scheme", "ALAE (s)", "BLAST (s)", "BWT-SW (s)"]
+    rows = []
+    for name, scheme in BLAST_DNA_SCHEMES.items():
+        cells = [name]
+        for kind in ("alae", "blast", "bwtsw"):
+            out = _outcomes(FIG9_N, FIG9_M, kind, scheme=scheme)
+            label = fmt_seconds(out.total_seconds)
+            if kind == "bwtsw" and not scheme.supports_bwt_sw():
+                label += " (*)"
+            cells.append(label)
+        rows.append(cells)
+    note = (
+        f"n = {FIG9_N:,}, m = {FIG9_M}, E = 10. (*) the original BWT-SW "
+        "rejects |sb| < 3|sa|; our reimplementation is exact there and is "
+        "reported for completeness. Paper shape: ALAE and BWT-SW are "
+        "scheme-sensitive, BLAST is flat; <1,-1,-5,-2> is ALAE's worst case."
+    )
+    return "Figure 9 — effect of scoring schemes", headers, rows, note
+
+
+# ------------------------------------------------------------------ Fig. 10
+def fig10():
+    """Filtering/reusing ratios per scheme (paper Fig. 10)."""
+    headers = ["scheme", "filtering ratio", "reusing ratio"]
+    rows = []
+    for name, scheme in BLAST_DNA_SCHEMES.items():
+        a = _outcomes(FIG9_N, FIG9_M, "alae", scheme=scheme)
+        b = _outcomes(FIG9_N, FIG9_M, "bwtsw", scheme=scheme)
+        filtering = max(0.0, (b.calculated - a.calculated) / b.calculated)
+        reusing = a.reused / a.accessed if a.accessed else 0.0
+        rows.append([name, fmt_ratio(filtering), fmt_ratio(reusing)])
+    note = (
+        "Same workload as Fig. 9. Paper shape: <1,-1,-5,-2> explodes the "
+        "calculated-entry count (Table 5) and reuses least. One deviation: "
+        "the paper's Fig. 10(a) shows its *filtering ratio* collapsing too, "
+        "while against our interval-style BWT-SW emulation the ratio stays "
+        "high — the baseline's near-match paths blow up even faster under "
+        "q = 2 than ALAE's gap regions do."
+    )
+    return "Figure 10 — ratios per scoring scheme", headers, rows, note
+
+
+# ------------------------------------------------------------------ Fig. 11
+def fig11():
+    """Index sizes: BWT index vs dominate index (paper Fig. 11)."""
+    headers = ["alphabet", "n", "BWT index (KB)", "dominate index (KB)"]
+    rows = []
+    for n in (20_000, 40_000, 80_000, 160_000):
+        workload = CACHE.workload(n, 200)
+        engine = CACHE.alae(workload.text)
+        sizes = engine.index_size_bytes()
+        rows.append(
+            ["DNA", f"{n:,}", sizes["bwt_index"] // 1024,
+             sizes["dominate_index"] // 1024]
+        )
+    protein_scheme = ScoringScheme(1, -3, -11, -1)
+    for n in (10_000, 20_000, 40_000):
+        workload = CACHE.workload(n, 200, alphabet=PROTEIN)
+        engine = CACHE.alae(workload.text, protein_scheme, PROTEIN)
+        sizes = engine.index_size_bytes()
+        rows.append(
+            ["protein", f"{n:,}", sizes["bwt_index"] // 1024,
+             sizes["dominate_index"] // 1024]
+        )
+    note = (
+        "DNA uses <1,-3,-5,-2> (q = 4), protein <1,-3,-11,-1> (q = 4 over "
+        "sigma = 20). Paper shape: the dominate index is negligible for DNA; "
+        "for protein it is large on small texts and shrinks relative to the "
+        "BWT index as n grows (fewer unique-predecessor q-grams)."
+    )
+    return "Figure 11 — index sizes", headers, rows, note
+
+
+# ---------------------------------------------------------------- Section 6
+def section6():
+    """The upper-bound constants of Sec. 6, exact to the paper's digits."""
+    headers = ["alphabet", "bound", "paper", "reproduced"]
+    dna_lo, dna_hi = paper_bound_extremes(4)
+    prot_lo, prot_hi = paper_bound_extremes(20)
+    default = entry_bound(DEFAULT_SCHEME, 4)
+    rows = [
+        ["DNA", "minimum", "4.50 m n^0.520",
+         f"{dna_lo.coefficient:.2f} m n^{dna_lo.exponent:.3f}"],
+        ["DNA", "maximum", "9.05 m n^0.896",
+         f"{dna_hi.coefficient:.2f} m n^{dna_hi.exponent:.3f}"],
+        ["DNA", "default <1,-3,-5,-2>", "4.47 m n^0.6038",
+         f"{default.coefficient:.2f} m n^{default.exponent:.4f}"],
+        ["DNA", "BWT-SW (from [8])", "69 m n^0.628",
+         f"{bwt_sw_bound(1, 1):.0f} m n^0.628"],
+        ["protein", "minimum", "8.28 m n^0.364",
+         f"{prot_lo.coefficient:.2f} m n^{prot_lo.exponent:.3f}"],
+        ["protein", "maximum", "7.49 m n^0.723",
+         f"{prot_hi.coefficient:.2f} m n^{prot_hi.exponent:.3f}"],
+    ]
+    note = (
+        "Pure mathematics (Lemma 4 / Eq. 4 over the BLAST parameter grid); "
+        "reproduced exactly, digit for digit."
+    )
+    return "Section 6 — calculated-entry upper bounds", headers, rows, note
+
+
+# ---------------------------------------------------------------- Ablation
+ABLATION_CONFIGS = [
+    ("full ALAE", ()),
+    ("no score filter", (("use_score_filter", False),)),
+    ("no domination", (("use_domination", False),)),
+    ("no reuse", (("use_reuse", False),)),
+    ("+ online bitmask", (("use_global_bitmask", True),)),
+]
+
+
+def ablation():
+    """Per-technique contribution (design-choice ablations from DESIGN.md)."""
+    headers = ["configuration", "time (s)", "calculated", "reused", "hits"]
+    rows = []
+    for label, flags in ABLATION_CONFIGS:
+        out = _outcomes(30_000, 1000, "alae", engine_flags=flags)
+        rows.append(
+            [label, fmt_seconds(out.total_seconds), fmt_int(out.calculated),
+             fmt_int(out.reused), fmt_int(out.total_hits)]
+        )
+    b = _outcomes(30_000, 1000, "bwtsw")
+    rows.append(
+        ["BWT-SW reference", fmt_seconds(b.total_seconds),
+         fmt_int(b.calculated), "0", fmt_int(b.total_hits)]
+    )
+    note = (
+        "n = 30,000, m = 1,000, E = 10, default scheme. Every configuration "
+        "returns the identical hit set (exactness is toggle-independent)."
+    )
+    return "Ablation — contribution of each technique", headers, rows, note
+
+
+ALL_EXPERIMENTS = [
+    section6,
+    table2,
+    table3,
+    table4,
+    table5,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    ablation,
+]

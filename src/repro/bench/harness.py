@@ -1,0 +1,129 @@
+"""Engine construction cache and search measurement helpers.
+
+Benchmarks across tables share texts and engines (building a suffix array for
+an 80K text takes seconds); :class:`EngineCache` memoises engine instances per
+(text configuration, scheme, engine kind) so each is built once per process.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.align.bwt_sw import BwtSw
+from repro.align.types import SearchResult
+from repro.alphabet import DNA, PROTEIN, Alphabet
+from repro.blast import Blast
+from repro.core.alae import ALAE
+from repro.scoring.scheme import DEFAULT_SCHEME, ScoringScheme
+from repro.workloads import Workload, make_workload
+
+
+@dataclass
+class SearchOutcome:
+    """Aggregated measurements over a query set."""
+
+    engine: str
+    total_seconds: float
+    total_hits: int
+    calculated: int
+    reused: int
+    accessed: int
+    computation_cost: int
+    threshold: int
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds
+
+
+class EngineCache:
+    """Per-process cache of workloads and engines."""
+
+    def __init__(self) -> None:
+        self._engines: dict[tuple, object] = {}
+
+    def workload(
+        self,
+        n: int,
+        m: int,
+        queries: int = 2,
+        alphabet: Alphabet = DNA,
+        seed: int = 20120827,
+    ) -> Workload:
+        return make_workload(
+            n, m, query_count=queries, alphabet=alphabet, seed=seed
+        )
+
+    def alae(
+        self,
+        text: str,
+        scheme: ScoringScheme = DEFAULT_SCHEME,
+        alphabet: Alphabet = DNA,
+        **kwargs,
+    ) -> ALAE:
+        key = ("alae", id(text), scheme, alphabet.name, tuple(sorted(kwargs.items())))
+        if key not in self._engines:
+            self._engines[key] = ALAE(text, alphabet, scheme, **kwargs)
+        return self._engines[key]  # type: ignore[return-value]
+
+    def bwt_sw(
+        self,
+        text: str,
+        scheme: ScoringScheme = DEFAULT_SCHEME,
+        alphabet: Alphabet = DNA,
+    ) -> BwtSw:
+        key = ("bwtsw", id(text), scheme, alphabet.name)
+        if key not in self._engines:
+            self._engines[key] = BwtSw(text, alphabet, scheme)
+        return self._engines[key]  # type: ignore[return-value]
+
+    def blast(
+        self,
+        text: str,
+        scheme: ScoringScheme = DEFAULT_SCHEME,
+        alphabet: Alphabet = DNA,
+        word_size: int = 11,
+    ) -> Blast:
+        key = ("blast", id(text), scheme, alphabet.name, word_size)
+        if key not in self._engines:
+            self._engines[key] = Blast(
+                text, alphabet, scheme, word_size=word_size
+            )
+        return self._engines[key]  # type: ignore[return-value]
+
+
+def run_query_set(
+    engine, queries: list[str], name: str, e_value: float | None = 10.0,
+    threshold: int | None = None,
+) -> SearchOutcome:
+    """Run every query, accumulate time / hits / entry statistics."""
+    total_time = 0.0
+    hits = calc = reused = accessed = cost = 0
+    thr = 0
+    for query in queries:
+        start = time.perf_counter()
+        result: SearchResult = engine.search(
+            query, threshold=threshold, e_value=e_value
+        )
+        total_time += time.perf_counter() - start
+        hits += len(result.hits)
+        calc += result.stats.calculated
+        reused += result.stats.reused
+        accessed += result.stats.accessed
+        cost += result.stats.computation_cost
+        thr = result.threshold
+    return SearchOutcome(
+        engine=name,
+        total_seconds=total_time,
+        total_hits=hits,
+        calculated=calc,
+        reused=reused,
+        accessed=accessed,
+        computation_cost=cost,
+        threshold=thr,
+    )
+
+
+#: Alphabets by name for CLI/bench parameterisation.
+ALPHABETS = {"dna": DNA, "protein": PROTEIN}

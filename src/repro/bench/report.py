@@ -1,0 +1,76 @@
+"""EXPERIMENTS.md generator: ``python -m repro.bench.report [--out PATH]``.
+
+Runs every experiment of :mod:`repro.bench.experiments` and writes the
+paper-vs-measured record for all tables and figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.bench.reporting import markdown_table
+
+PREAMBLE = """\
+# EXPERIMENTS — paper vs. reproduction
+
+Reproduction record for every table and figure of *ALAE: Accelerating Local
+Alignment with Affine Gap Exactly in Biosequence Databases* (PVLDB 5(11),
+2012).  Regenerate with `python -m repro.bench.report --out EXPERIMENTS.md`
+(about 10-20 minutes), or time individual experiments with
+`pytest benchmarks/ --benchmark-only`.
+
+**Scale.** The paper runs C++ on 50M-1G-character genomes with 1K-10M-character
+queries; this reproduction runs pure Python (~1 microsecond per DP entry) on
+20K-160K-character synthetic genomes with 200-4,000-character queries (see
+DESIGN.md for the substitution rationale).  Absolute numbers therefore differ
+by construction; the *shapes* — who wins, how ratios move with m / n /
+E-value / scheme, where BLAST loses results, where ALAE's worst-case scheme
+is — are the reproduction targets and are annotated per experiment.
+
+**Correctness.** ALAE == BWT-SW == BASIC == Smith-Waterman on the full answer
+set is enforced by the test suite (several hundred randomized and adversarial
+cases, plus hypothesis properties); both exact engines always report the same
+result count C below, mirroring the paper's Tables 2/3.
+
+**Headline checks that reproduce exactly (digit-for-digit).** The Section 6
+analysis: DNA bounds 4.50 m n^0.520 .. 9.05 m n^0.896, protein bounds
+8.28 m n^0.364 .. 7.49 m n^0.723, and 4.47 m n^0.6038 for the default scheme
+(vs BWT-SW's published 69 m n^0.628).
+
+**Known deviation.** The paper's 10-119x wall-clock gap between ALAE and
+BWT-SW compresses here to parity-to-moderate advantage: both engines share
+this package's sparse traversal core, whereas the original BWT-SW binary
+always evaluates three dense matrices over per-row ranges.  The
+platform-independent metrics (calculated entries and x1/x2/x3 computation
+cost, Table 4) preserve the paper's advantage and its growth with m.
+"""
+
+
+def generate(out_path: str) -> None:
+    sections = [PREAMBLE]
+    started = time.time()
+    for experiment in ALL_EXPERIMENTS:
+        title, headers, rows, note = experiment()
+        print(f"[report] {title}", file=sys.stderr, flush=True)
+        sections.append(f"## {title}\n\n{markdown_table(headers, rows)}\n\n{note}")
+    sections.append(
+        f"---\n\nGenerated in {time.time() - started:.0f}s by "
+        "`python -m repro.bench.report`."
+    )
+    with open(out_path, "w", encoding="utf-8") as handle:
+        handle.write("\n\n".join(sections) + "\n")
+    print(f"[report] wrote {out_path}", file=sys.stderr)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="EXPERIMENTS.md")
+    args = parser.parse_args()
+    generate(args.out)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Markdown rendering for experiment tables."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def markdown_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render a GitHub-flavoured markdown table."""
+    head = "| " + " | ".join(str(h) for h in headers) + " |"
+    sep = "|" + "|".join("---" for _ in headers) + "|"
+    body = ["| " + " | ".join(str(c) for c in row) + " |" for row in rows]
+    return "\n".join([head, sep, *body])
+
+
+def fmt_seconds(seconds: float) -> str:
+    return f"{seconds:.3f}"
+
+
+def fmt_ratio(value: float) -> str:
+    return f"{100.0 * value:.1f}%"
+
+
+def fmt_int(value: int) -> str:
+    return f"{value:,}"

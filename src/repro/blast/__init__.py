@@ -1,0 +1,7 @@
+"""BLAST-like heuristic baseline: seed -> ungapped X-drop -> gapped extension."""
+
+from repro.blast.engine import Blast
+from repro.blast.extension import ungapped_xdrop, gapped_extension
+from repro.blast.seeding import find_seeds, Seed
+
+__all__ = ["Blast", "Seed", "find_seeds", "ungapped_xdrop", "gapped_extension"]

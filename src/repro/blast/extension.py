@@ -1,0 +1,95 @@
+"""Seed extension: ungapped X-drop and windowed gapped extension.
+
+``ungapped_xdrop`` grows a seed along its diagonal in both directions,
+abandoning a direction once the running score drops ``x_drop`` below the best
+seen — BLAST's classic ungapped extension.  ``gapped_extension`` then runs a
+full affine local DP over a bounded window around the ungapped segment (our
+stand-in for BLAST's banded X-drop gapped phase), returning the best
+alignment and its end positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.align.smith_waterman import PairwiseAlignment, align_pair
+from repro.blast.seeding import Seed
+from repro.scoring.scheme import ScoringScheme
+
+
+@dataclass(frozen=True)
+class UngappedSegment:
+    """Result of an ungapped extension: a scored diagonal run (1-based)."""
+
+    t_start: int
+    t_end: int
+    q_start: int
+    q_end: int
+    score: int
+
+
+def ungapped_xdrop(
+    text: str, query: str, seed: Seed, scheme: ScoringScheme, x_drop: int
+) -> UngappedSegment:
+    """Extend ``seed`` along its diagonal with X-drop termination."""
+    sa, sb = scheme.sa, scheme.sb
+    score = seed.length * sa
+
+    # Rightward from the seed's last matched pair.
+    t, q = seed.t_start + seed.length - 1, seed.q_start + seed.length - 1
+    best, best_t, best_q = score, t, q
+    run = score
+    ti, qi = t, q
+    while ti < len(text) and qi < len(query):
+        run += sa if text[ti] == query[qi] else sb
+        ti += 1
+        qi += 1
+        if run > best:
+            best, best_t, best_q = run, ti, qi
+        elif best - run > x_drop:
+            break
+    right_gain = best - score
+    t_end, q_end = best_t, best_q
+
+    # Leftward from the seed's first pair.
+    best_left, best_t0, best_q0 = 0, seed.t_start, seed.q_start
+    run = 0
+    ti, qi = seed.t_start - 1, seed.q_start - 1
+    while ti >= 1 and qi >= 1:
+        run += sa if text[ti - 1] == query[qi - 1] else sb
+        if run > best_left:
+            best_left, best_t0, best_q0 = run, ti, qi
+        elif best_left - run > x_drop:
+            break
+        ti -= 1
+        qi -= 1
+    return UngappedSegment(
+        t_start=best_t0,
+        t_end=t_end,
+        q_start=best_q0,
+        q_end=q_end,
+        score=score + right_gain + best_left,
+    )
+
+
+def gapped_extension(
+    text: str,
+    query: str,
+    segment: UngappedSegment,
+    scheme: ScoringScheme,
+    margin: int = 60,
+) -> tuple[PairwiseAlignment, int, int]:
+    """Affine local DP over a window around an ungapped segment.
+
+    Returns ``(alignment, window_t_offset, window_q_offset)`` where the
+    offsets convert the alignment's window-local coordinates back to global
+    1-based positions (``global = offset + local``).
+    """
+    t_lo = max(1, segment.t_start - margin)
+    t_hi = min(len(text), segment.t_end + margin)
+    q_lo = max(1, segment.q_start - margin)
+    q_hi = min(len(query), segment.q_end + margin)
+    window_t = text[t_lo - 1 : t_hi]
+    window_q = query[q_lo - 1 : q_hi]
+    alignment = align_pair(window_t, window_q, scheme)
+    return alignment, t_lo - 1, q_lo - 1

@@ -1,0 +1,38 @@
+"""Word seeding for the BLAST baseline (Sec. 1: "decomposes an input query
+into a set of grams and identifies matches against the database").
+
+The query is slid over in windows of ``word_size``; every window that occurs
+in the text (via :class:`repro.index.kmer_index.KmerIndex`) yields one
+:class:`Seed` per occurrence.  Seeds are later deduplicated per diagonal by
+the engine so a long perfect match does not trigger hundreds of extensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.index.kmer_index import KmerIndex
+
+
+@dataclass(frozen=True)
+class Seed:
+    """An exact word match: text/query start positions (1-based), length."""
+
+    t_start: int
+    q_start: int
+    length: int
+
+    @property
+    def diagonal(self) -> int:
+        """Seeds on one diagonal extend into the same ungapped alignment."""
+        return self.t_start - self.q_start
+
+
+def find_seeds(index: KmerIndex, query: str) -> Iterator[Seed]:
+    """Yield every word hit of ``query`` against the indexed text."""
+    w = index.k
+    for q0 in range(len(query) - w + 1):
+        word = query[q0 : q0 + w]
+        for t_start in index.positions(word):
+            yield Seed(t_start=int(t_start), q_start=q0 + 1, length=w)

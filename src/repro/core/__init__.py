@@ -1,0 +1,22 @@
+"""The paper's primary contribution: the ALAE search engine and its filters."""
+
+from repro.core.alae import ALAE
+from repro.core.analysis import (
+    EntryBound,
+    entry_bound,
+    bwt_sw_bound,
+    paper_bound_extremes,
+)
+from repro.core.domination import DominationIndex
+from repro.core.cptree import CommonPrefixTree, construct_cp_tree
+
+__all__ = [
+    "ALAE",
+    "DominationIndex",
+    "CommonPrefixTree",
+    "construct_cp_tree",
+    "EntryBound",
+    "entry_bound",
+    "bwt_sw_bound",
+    "paper_bound_extremes",
+]

@@ -1,0 +1,375 @@
+"""The ALAE search engine (the paper's primary contribution).
+
+Pipeline per search (query ``P``, threshold ``H`` or E-value):
+
+1. resolve ``H`` (Karlin-Altschul, Sec. 7) and build the
+   :class:`~repro.core.filters.FilterPlan` (q, min row, Lmax, FGOE bound);
+2. build the q-gram inverted index of ``P`` (Sec. 3.1.3);
+3. for every distinct q-gram ``g`` of ``P``:
+   a. drop fork columns killed by q-prefix domination (Sec. 3.2.2) and —
+      optionally — by the online bit matrix ``G`` (Sec. 3.2.1);
+   b. locate ``g`` in the text via the compressed suffix array of the
+      reversed text (Sec. 5); a miss prunes the entire conceptual matrix
+      (whole-matrix prefix filtering);
+   c. seed one fork per surviving column at row ``q`` (EMR scores are
+      assigned, not calculated) and traverse the suffix-trie subtree under
+      ``g``, advancing NGR forks along their diagonals (Eq. 3) and gap-phase
+      forks through the sparse affine DP, with the Sec. 4 reuse engine
+      sharing identical fork advances;
+4. alignments shorter than ``q`` (possible only when ``H < q * sa``) are
+   all-match by Theorem 3's argument and are enumerated directly.
+
+Every cell with score ``>= H`` lands in the max-dedup accumulator ``A``; the
+result equals Smith-Waterman's ``{(i, j): H(i, j) >= H}`` exactly (tested).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+
+from repro.align.bwt_sw import resolve_threshold
+from repro.align.recurrences import CostCounter
+from repro.align.smith_waterman import PairwiseAlignment, align_pair
+from repro.align.types import Hit, ResultSet, SearchResult, SearchStats
+from repro.alphabet import DNA, Alphabet
+from repro.core.domination import DominationIndex
+from repro.core.filters import FilterPlan, make_filter_plan
+from repro.core.forks import GAP, NGR, Fork, fgoe_row_frontier, seed_fork
+from repro.core.global_filter import GlobalBitMatrix
+from repro.core.reuse import ReuseEngine
+from repro.index.csa import EMPTY_RANGE, ReversedTextIndex
+from repro.index.qgram import QGramIndex
+from repro.scoring.scheme import DEFAULT_SCHEME, ScoringScheme
+
+#: Shared empty frontier for NGR forks (never mutated).
+_EMPTY_DICT: dict = {}
+
+
+class ALAE:
+    """Exact local-alignment search with filtering and reuse.
+
+    Parameters
+    ----------
+    text:
+        The database text ``T`` (concatenate collections beforehand, e.g.
+        with :class:`repro.io.database.SequenceDatabase`).
+    alphabet, scheme:
+        Alphabet and affine-gap scoring scheme.
+    use_length_filter, use_score_filter, use_domination, use_reuse,
+    use_global_bitmask:
+        Toggles for each technique (all exact; defaults mirror the paper's
+        configuration — the bitmap filter is off, Sec. 3.2.2 replacing it).
+    """
+
+    def __init__(
+        self,
+        text: str,
+        alphabet: Alphabet = DNA,
+        scheme: ScoringScheme = DEFAULT_SCHEME,
+        *,
+        use_length_filter: bool = True,
+        use_score_filter: bool = True,
+        use_domination: bool = True,
+        use_reuse: bool = True,
+        use_global_bitmask: bool = False,
+        occ_block: int = 128,
+        sa_sample: int = 16,
+    ) -> None:
+        alphabet.validate(text)
+        self.text = text
+        self.alphabet = alphabet
+        self.scheme = scheme
+        self.use_length_filter = use_length_filter
+        self.use_score_filter = use_score_filter
+        self.use_domination = use_domination
+        self.use_reuse = use_reuse
+        self.use_global_bitmask = use_global_bitmask
+        self.csa = ReversedTextIndex(
+            text, alphabet, occ_block=occ_block, sa_sample=sa_sample
+        )
+        self._dom_cache: dict[int, DominationIndex] = {}
+
+    # ---------------------------------------------------------------- index
+    def domination_index(self, q: int | None = None) -> DominationIndex:
+        """The (cached) offline dominate index for prefix length ``q``."""
+        if q is None:
+            q = self.scheme.q
+        if q not in self._dom_cache:
+            self._dom_cache[q] = DominationIndex(self.text, q)
+        return self._dom_cache[q]
+
+    def index_size_bytes(self) -> dict[str, int]:
+        """Fig. 11 accounting: BWT index + dominate index sizes."""
+        bwt = self.csa.size_bytes()["total"]
+        dom = self.domination_index().size_bytes() if self.use_domination else 0
+        return {"bwt_index": bwt, "dominate_index": dom, "total": bwt + dom}
+
+    # --------------------------------------------------------------- search
+    def search(
+        self,
+        query: str,
+        threshold: int | None = None,
+        e_value: float | None = None,
+    ) -> SearchResult:
+        """Find every end-position pair with alignment score ``>= H``."""
+        self.alphabet.validate(query)
+        scheme = self.scheme
+        m, n = len(query), self.csa.n
+        h_thr = resolve_threshold(
+            threshold, e_value, scheme, self.alphabet.size, m, n
+        )
+        plan = make_filter_plan(scheme, m, h_thr)
+
+        started = time.perf_counter()
+        counter = CostCounter("alae")
+        stats = SearchStats()
+        results = ResultSet()
+        reuse = ReuseEngine(self.use_reuse)
+        dom = self.domination_index(plan.q) if self.use_domination else None
+        gbm = GlobalBitMatrix(n, m) if self.use_global_bitmask else None
+
+        if plan.min_row < plan.q and m >= plan.min_row:
+            self._emit_short_matches(query, plan, results, stats)
+
+        if m >= plan.q:
+            qidx = QGramIndex(query, plan.q)
+            for gram in qidx.grams():
+                self._search_gram(
+                    gram, qidx, query, plan, h_thr, results, stats, counter,
+                    reuse, dom, gbm,
+                )
+
+        stats.calculated_x1 = counter.x1
+        stats.calculated_x2 = counter.x2
+        stats.calculated_x3 = counter.x3
+        stats.reused = reuse.reused_cells
+        stats.extra["memo_hits"] = reuse.memo_hits
+        stats.extra["memo_misses"] = reuse.memo_misses
+        if gbm is not None:
+            stats.extra["bitmask_cells"] = gbm.marked_cells()
+        stats.elapsed_seconds = time.perf_counter() - started
+        return SearchResult(hits=results, stats=stats, threshold=h_thr)
+
+    # ------------------------------------------------------------ internals
+    def _emit_short_matches(
+        self, query: str, plan: FilterPlan, results: ResultSet, stats: SearchStats
+    ) -> None:
+        """Alignments shorter than q: all-match pairs (see module docstring)."""
+        for length in range(plan.min_row, min(plan.q, len(query) + 1)):
+            score = length * self.scheme.sa
+            grams: dict[str, list[int]] = defaultdict(list)
+            for start0 in range(len(query) - length + 1):
+                grams[query[start0 : start0 + length]].append(start0 + 1)
+            for gram, cols in grams.items():
+                rng = self.csa.range_of(gram)
+                if rng == EMPTY_RANGE:
+                    continue
+                ends = self.csa.end_positions(rng)
+                stats.emr_assigned += len(ends) * len(cols)
+                for j in cols:
+                    p_end = j + length - 1
+                    for end in ends:
+                        results.add(end, p_end, score, end - length + 1)
+
+    def _search_gram(
+        self,
+        gram: str,
+        qidx: QGramIndex,
+        query: str,
+        plan: FilterPlan,
+        h_thr: int,
+        results: ResultSet,
+        stats: SearchStats,
+        counter: CostCounter,
+        reuse: ReuseEngine,
+        dom: DominationIndex | None,
+        gbm: GlobalBitMatrix | None,
+    ) -> None:
+        """Seed and traverse all forks of one distinct q-gram of the query."""
+        q = plan.q
+        cols = qidx.positions(gram)
+
+        if dom is not None:
+            pred = dom.unique_predecessor(gram)
+            if pred is not None:
+                kept = [
+                    j for j in cols if j == 1 or query[j - 2 : j - 2 + q] != pred
+                ]
+                stats.forks_skipped_domination += len(cols) - len(kept)
+                cols = kept
+        if not cols:
+            return
+
+        rng = self.csa.range_of(gram)
+        if rng == EMPTY_RANGE:
+            stats.grams_absent_in_text += 1
+            return
+
+        seed_ends: list[int] | None = None
+        if gbm is not None:
+            seed_ends = self.csa.end_positions(rng)
+            starts = [e - q + 1 for e in seed_ends]
+            kept = [j for j in cols if not gbm.all_marked(starts, j)]
+            stats.forks_skipped_global += len(cols) - len(kept)
+            cols = kept
+            if not cols:
+                return
+
+        seed_score = q * self.scheme.sa
+        live_seed = plan.row_live_threshold(q, self.use_score_filter)
+        if seed_score <= live_seed:
+            return  # every fork of this gram is dead on arrival
+
+        forks = [
+            seed_fork(j, plan, self.scheme, live_seed, counter) for j in cols
+        ]
+        stats.forks_seeded += len(forks)
+        stats.emr_assigned += q * len(forks)
+
+        ends_cache = seed_ends
+
+        def seed_ends_lazy() -> list[int]:
+            nonlocal ends_cache
+            if ends_cache is None:
+                ends_cache = self.csa.end_positions(rng)
+            return ends_cache
+
+        for fork in forks:
+            cells = (
+                fork.frontier.items()
+                if fork.phase == GAP
+                else [(fork.pip + q - 1, (seed_score, 0))]
+            )
+            for col, (m_val, _ga) in cells:
+                if m_val >= h_thr:
+                    for end in seed_ends_lazy():
+                        results.add(end, col, m_val, end - q + 1)
+                if gbm is not None and m_val >= self.scheme.sa:
+                    gbm.mark(seed_ends_lazy(), col)
+
+        char_codes = self.csa.char_codes()
+        extend_code = self.csa.extend_code
+        stack: list[tuple[tuple[int, int], int, list[Fork]]] = [(rng, q, forks)]
+        while stack:
+            node_rng, depth, node_forks = stack.pop()
+            stats.nodes_visited += 1
+            new_depth = depth + 1
+            if self.use_length_filter and new_depth > plan.lmax:
+                continue
+            for char, code in char_codes:
+                child_rng = extend_code(node_rng, code)
+                if child_rng == EMPTY_RANGE:
+                    continue
+                survivors = self._advance_forks(
+                    node_forks, char, query, new_depth, plan, h_thr,
+                    counter, reuse, child_rng, results, stats, gbm,
+                )
+                if survivors:
+                    stack.append((child_rng, new_depth, survivors))
+
+    def _advance_forks(
+        self,
+        node_forks: list[Fork],
+        char: str,
+        query: str,
+        depth: int,
+        plan: FilterPlan,
+        h_thr: int,
+        counter: CostCounter,
+        reuse: ReuseEngine,
+        rng: tuple[int, int],
+        results: ResultSet,
+        stats: SearchStats,
+        gbm: GlobalBitMatrix | None,
+    ) -> list[Fork]:
+        """Advance every fork one row for one child character."""
+        live = plan.row_live_threshold(depth, self.use_score_filter)
+        ends: list[int] | None = None
+        scheme = self.scheme
+        sa, sb = scheme.sa, scheme.sb
+        m, h_budget = plan.m, plan.threshold
+        fgoe = plan.fgoe_bound
+        use_sf = self.use_score_filter
+        survivors: list[Fork] = []
+        gap_forks: list[Fork] = []
+        for fork in node_forks:
+            if fork.phase == NGR:
+                # Inlined advance_ngr (Eq. 3 diagonal walk) — hot path.
+                col = fork.pip + depth - 1
+                if col > m:
+                    continue
+                score = fork.score + (sa if query[col - 1] == char else sb)
+                counter.x1 += 1
+                if use_sf:
+                    bound = max(
+                        live,
+                        h_budget - (m - col) * sa - 1,
+                    )
+                else:
+                    bound = 0
+                if score <= bound:
+                    continue
+                if score > fgoe:
+                    frontier = fgoe_row_frontier(
+                        score, col, m, scheme, bound, counter
+                    )
+                    clone = Fork(fork.pip, GAP, 0, frontier)
+                    for ccol, (m_val, _ga) in frontier.items():
+                        if m_val >= h_thr or (gbm is not None and m_val >= sa):
+                            if ends is None:
+                                ends = self.csa.end_positions(rng)
+                            if m_val >= h_thr:
+                                for end in ends:
+                                    results.add(end, ccol, m_val, end - depth + 1)
+                            if gbm is not None and m_val >= sa:
+                                gbm.mark(ends, ccol)
+                else:
+                    clone = Fork(fork.pip, NGR, score, _EMPTY_DICT)
+                    if score >= h_thr or (gbm is not None and score >= sa):
+                        if ends is None:
+                            ends = self.csa.end_positions(rng)
+                        if score >= h_thr:
+                            for end in ends:
+                                results.add(end, col, score, end - depth + 1)
+                        if gbm is not None and score >= sa:
+                            gbm.mark(ends, col)
+                survivors.append(clone)
+            else:
+                gap_forks.append(fork)
+
+        if gap_forks:
+            new_frontiers = reuse.advance_forks(
+                [f.frontier for f in gap_forks], char, query, plan.m,
+                self.scheme, live, counter,
+            )
+            sa = self.scheme.sa
+            for fork, frontier in zip(gap_forks, new_frontiers):
+                if not frontier:
+                    continue
+                for j, (m_val, _ga) in frontier.items():
+                    if m_val >= h_thr or (gbm is not None and m_val >= sa):
+                        if ends is None:
+                            ends = self.csa.end_positions(rng)
+                        if m_val >= h_thr:
+                            for end in ends:
+                                results.add(end, j, m_val, end - depth + 1)
+                        if gbm is not None and m_val >= sa:
+                            gbm.mark(ends, j)
+                survivors.append(Fork(fork.pip, GAP, 0, frontier))
+        return survivors
+
+    # ------------------------------------------------------------- utility
+    def materialize(self, hit: Hit, query: str) -> PairwiseAlignment:
+        """Recover the operations of one hit with a windowed traceback DP.
+
+        The window spans the hit's text range and the query region that can
+        reach ``p_end``; the returned alignment's score is at least the hit's
+        (the window may contain an even better local alignment).
+        """
+        t_lo = max(1, hit.t_start if hit.t_start else hit.t_end - 2 * len(query))
+        text_window = self.text[t_lo - 1 : hit.t_end]
+        span = hit.t_end - t_lo + 1 + abs(self.scheme.sg)
+        p_lo = max(1, hit.p_end - span)
+        query_window = query[p_lo - 1 : hit.p_end]
+        return align_pair(text_window, query_window, self.scheme)

@@ -1,0 +1,181 @@
+"""CONSTRUCTCPTREE (Algorithm 2): the common prefix tree of Sec. 4.2.
+
+Given the fork-start columns ``j_1 < j_2 < ... < j_k`` of one matrix, the
+suffixes ``P[j_w, m]`` share long common prefixes whenever the query repeats
+itself.  Algorithm 2 builds a compacted trie over those suffixes *in linear
+time* by inserting only the disjoint pieces ``P[j_w, j_{w+1} - 1]`` and
+concatenating each new piece onto the previously-inserted leaves through a
+chain of ``link`` pointers (each suffix is the concatenation of the pieces
+that follow it).
+
+The tree answers the question driving Sec. 4's reuse: which later fork can
+copy which column ranges from an earlier fork (two suffixes sharing a prefix
+of length L share their first L+1 fork columns, Lemma 2).  The production
+engine obtains the same sharing through frontier memoisation (see
+``repro.core.reuse``); this module is the faithful standalone implementation
+of the paper's data structure, fully unit-tested, and is used by the reuse
+engine's planner to report duplicate statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CPNode:
+    """A common-prefix-tree node; the edge label leads from its parent."""
+
+    edge: str = ""
+    children: dict[str, "CPNode"] = field(default_factory=dict)
+    #: Column id bookkeeping used by calMatrixByColumn-style reuse.
+    column: int = 0
+    #: Fork starts (j_w values) whose suffix terminates through this node.
+    suffix_ids: list[int] = field(default_factory=list)
+
+    def child_for(self, char: str) -> "CPNode | None":
+        return self.children.get(char)
+
+    def add_child(self, node: "CPNode") -> None:
+        self.children[node.edge[0]] = node
+
+
+class CommonPrefixTree:
+    """Compacted trie over the suffixes ``P[j_w, m]`` of the fork columns."""
+
+    def __init__(self, root: CPNode, query: str, columns: list[int]) -> None:
+        self.root = root
+        self.query = query
+        self.columns = columns
+
+    # ------------------------------------------------------------- queries
+    def longest_common_prefix(self, j_u: int, j_v: int) -> int:
+        """Length of the common prefix of ``P[j_u, m]`` and ``P[j_v, m]``.
+
+        Answered by descending the tree while both suffixes follow the same
+        edges; equivalent to (and tested against) direct string comparison.
+        """
+        s_u = self.query[j_u - 1 :]
+        s_v = self.query[j_v - 1 :]
+        lcp = 0
+        node = self.root
+        while True:
+            if lcp >= len(s_u) or lcp >= len(s_v) or s_u[lcp] != s_v[lcp]:
+                return lcp
+            child = node.child_for(s_u[lcp])
+            if child is None:
+                return lcp
+            edge = child.edge
+            step = 0
+            while (
+                step < len(edge)
+                and lcp < len(s_u)
+                and lcp < len(s_v)
+                and s_u[lcp] == edge[step]
+                and s_v[lcp] == edge[step]
+            ):
+                lcp += 1
+                step += 1
+            if step < len(edge):
+                return lcp
+            node = child
+
+    def contains_suffix(self, j_w: int) -> bool:
+        """Whether ``P[j_w, m]`` is represented by a root-to-leaf path."""
+        target = self.query[j_w - 1 :]
+        node = self.root
+        pos = 0
+        while pos < len(target):
+            child = node.child_for(target[pos])
+            if child is None:
+                return False
+            edge = child.edge
+            if target[pos : pos + len(edge)] != edge:
+                return False
+            pos += len(edge)
+            node = child
+        return True
+
+    def leaf_count(self) -> int:
+        count = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if not node.children:
+                count += 1
+            stack.extend(node.children.values())
+        return count
+
+
+def construct_cp_tree(query: str, columns: list[int]) -> CommonPrefixTree:
+    """Algorithm 2: build the common prefix tree for fork columns ``columns``.
+
+    ``columns`` are 1-based fork start positions ``j_1 < ... < j_k``; the
+    inserted pieces are ``P[j_w .. j_{w+1} - 1]`` with the last piece running
+    to the end of ``P``.  After inserting piece ``w``, the piece is appended
+    (via the link chain) under every leaf created by earlier insertions, so
+    the final tree contains exactly the suffixes ``P[j_w, m]``.
+    """
+    if not columns:
+        return CommonPrefixTree(CPNode(), query, [])
+    if sorted(columns) != list(columns):
+        raise ValueError("fork columns must be sorted ascending")
+
+    root = CPNode()
+    # Leaves awaiting concatenation of the next piece (the paper's links).
+    pending_leaves: list[CPNode] = []
+
+    pieces = []
+    for w, j_w in enumerate(columns):
+        end = columns[w + 1] - 1 if w + 1 < len(columns) else len(query)
+        pieces.append(query[j_w - 1 : end])
+
+    for piece in pieces:
+        new_leaves: list[CPNode] = []
+        # 1. Insert the piece as a new suffix starting at the root.
+        leaf = _insert_from(root, piece)
+        if leaf is not None:
+            new_leaves.append(leaf)
+        # 2. Concatenate the piece under every previously-pending leaf.
+        for old_leaf in pending_leaves:
+            ext = _insert_from(old_leaf, piece)
+            new_leaves.append(ext if ext is not None else old_leaf)
+        pending_leaves = new_leaves
+    return CommonPrefixTree(root, query, list(columns))
+
+
+def _insert_from(node: CPNode, piece: str) -> CPNode | None:
+    """Insert ``piece`` below ``node``, splitting edges as in lines 7-12.
+
+    Returns the leaf that now terminates the inserted string, or ``None``
+    when the piece is empty.
+    """
+    if not piece:
+        return None
+    pos = 0
+    while pos < len(piece):
+        child = node.child_for(piece[pos])
+        if child is None:
+            leaf = CPNode(edge=piece[pos:])
+            node.add_child(leaf)
+            return leaf
+        edge = child.edge
+        k = 0
+        while k < len(edge) and pos + k < len(piece) and edge[k] == piece[pos + k]:
+            k += 1
+        if k == len(edge):
+            node = child
+            pos += k
+            continue
+        # Split edge(u, v) by inserting node c' (Algorithm 2 lines 8-10).
+        mid = CPNode(edge=edge[:k])
+        child.edge = edge[k:]
+        del node.children[edge[0]]
+        node.add_child(mid)
+        mid.add_child(child)
+        if pos + k < len(piece):
+            leaf = CPNode(edge=piece[pos + k :])
+            mid.add_child(leaf)
+            return leaf
+        return mid
+    return node

@@ -1,0 +1,94 @@
+"""q-prefix domination: offline global filtering (Sec. 3.2.2).
+
+Definition 1 specialised to consecutive text positions: q-gram ``g'``
+*q-dominates* ``g`` when every occurrence of ``g`` at position ``t`` in ``T``
+has an occurrence of ``g'`` at ``t - 1`` — i.e. ``g'`` is the *unique*
+predecessor q-gram of ``g``, and ``g`` never occurs at position 1 (the paper:
+"the q-length substring at position 1 could not be dominated").
+
+Lemma 1 then lets ALAE skip the fork at query column ``j`` whenever the
+preceding query q-gram ``P[j-1 .. j+q-2]`` equals that unique predecessor:
+the fork at column ``j - 1`` of the one-character-longer text path reaches
+the same ``A`` cells with scores higher by ``+sa``.  Chains of skips are safe
+because predecessor chains walk left through ``T`` and terminate at position
+1, which is never dominated.
+
+The index is built offline in one O(n) scan (the paper's "constructing
+dominations offline") and its modelled size is reported for Fig. 11.
+"""
+
+from __future__ import annotations
+
+
+class _Multi:
+    """Sentinel: more than one distinct predecessor."""
+
+    __repr__ = lambda self: "<multi>"  # noqa: E731 - tiny sentinel
+
+
+_MULTI = _Multi()
+
+
+class DominationIndex:
+    """Unique-predecessor map over the q-grams of a text."""
+
+    def __init__(self, text: str, q: int) -> None:
+        if q < 1:
+            raise ValueError(f"q must be >= 1, got {q}")
+        self.q = q
+        self.n = len(text)
+        pred: dict[str, object] = {}
+        prev_gram: str | None = None
+        for start0 in range(self.n - q + 1):
+            gram = text[start0 : start0 + q]
+            # Predecessor of the occurrence at 1-based position start0+1 is
+            # the gram at start0 (or "none" for the very first position).
+            incoming = prev_gram  # None at position 1
+            cur = pred.get(gram, _unset)
+            if cur is _unset:
+                pred[gram] = incoming
+            elif cur is not _MULTI and cur != incoming:
+                pred[gram] = _MULTI
+            prev_gram = gram
+        self._pred = pred
+
+    def unique_predecessor(self, gram: str) -> str | None:
+        """The single q-gram preceding every occurrence of ``gram``, if any.
+
+        Returns ``None`` when ``gram`` is absent, occurs at position 1, or
+        has several distinct predecessors — i.e. when it is *not* dominated.
+        """
+        cur = self._pred.get(gram)
+        if cur is None or cur is _MULTI:
+            return None
+        return cur  # type: ignore[return-value]
+
+    def is_dominated_by(self, gram: str, candidate: str) -> bool:
+        """Whether ``candidate`` q-dominates ``gram`` (Definition 1)."""
+        return self.unique_predecessor(gram) == candidate
+
+    def dominated_count(self) -> int:
+        """Number of dominated q-grams (for diagnostics / Fig. 11)."""
+        return sum(
+            1 for v in self._pred.values() if v is not None and v is not _MULTI
+        )
+
+    def __len__(self) -> int:
+        return len(self._pred)
+
+    def size_bytes(self) -> int:
+        """Modelled index size: one (gram, predecessor-gram) pair per entry.
+
+        Dominated entries store both grams (2q bytes); undominated entries
+        only need a presence marker (q bytes + 1 flag).
+        """
+        size = 0
+        for value in self._pred.values():
+            if value is not None and value is not _MULTI:
+                size += 2 * self.q
+            else:
+                size += self.q + 1
+        return size
+
+
+_unset = object()

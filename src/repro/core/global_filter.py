@@ -1,0 +1,46 @@
+"""Online global filtering with a boolean matrix G (Sec. 3.2.1 / Theorem 4).
+
+``G[t, j] = 1`` records that some already-processed matrix produced an
+alignment ending at text position ``t`` and query column ``j`` with score
+``>= sa``.  A new fork seeded at column ``j`` for a path ``X`` is meaningless
+when *every* occurrence end of ``X[1..q]``'s seed cell is already marked
+(Theorem 4 case 2): each of those alignments can be extended by the same
+downstream text characters, dominating everything the fork would compute.
+
+The paper itself notes the O(n * m) space cost and replaces this with the
+offline domination index of Sec. 3.2.2; we keep the bitmap variant as an
+optional mode (off by default) for the ablation study, implemented over a
+numpy boolean matrix with vectorised mark/check (the paper's bitwise AND/OR).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class GlobalBitMatrix:
+    """The (n+1) x (m+1) boolean accumulator ``G`` of Sec. 3.2.1."""
+
+    def __init__(self, n: int, m: int) -> None:
+        self.n = n
+        self.m = m
+        self._g = np.zeros((n + 1, m + 1), dtype=bool)
+
+    def mark(self, t_ends: list[int], j: int) -> None:
+        """OR the column vector ``z`` (occurrence ends) into column ``j``."""
+        if t_ends:
+            self._g[t_ends, j] = True
+
+    def all_marked(self, t_ends: list[int], j: int) -> bool:
+        """AND-check of Theorem 4: is every occurrence end already covered?"""
+        if not t_ends:
+            return False
+        return bool(self._g[t_ends, j].all())
+
+    def marked_cells(self) -> int:
+        """Number of set bits (diagnostics)."""
+        return int(self._g.sum())
+
+    def size_bytes(self) -> int:
+        """Modelled size: one bit per (text position, query column)."""
+        return ((self.n + 1) * (self.m + 1) + 7) // 8

@@ -1,0 +1,118 @@
+"""Score reuse between forks (Sec. 4) via frontier memoisation.
+
+Lemmas 2/3 and Theorem 5 say: two forks of the same matrix whose gap regions
+look identical after shifting — same relative scores, and the same upcoming
+query characters — produce identical continuations, so the later fork's
+columns can be *copied* from the earlier fork's.  The paper discovers such
+duplicates with the common prefix tree (Algorithm 2, ``repro.core.cptree``)
+and copies column ranges in ``calMatrixByColumn``.
+
+This engine realises the same sharing with a hash memo, which composes
+cleanly with the suffix-trie traversal: when several forks of the current
+path advance one row, each fork's *reuse key* is
+
+    (relative frontier, upcoming P characters, right-edge distance class)
+
+and forks with equal keys are advanced once; the others receive the shifted
+copy and their cells are accounted as *reused* (Eq. 6's numerator).  The
+right-edge class is ``-1`` ("far") unless the frontier could reach column
+``m`` this row, in which case the exact distance is part of the key — two
+forks at different distances from the edge may genuinely diverge there.
+
+Reuse keys deliberately use the shift-invariant row liveness threshold (see
+``FilterPlan.row_live_threshold``), so group members stay byte-identical
+across rows and keep sharing.
+"""
+
+from __future__ import annotations
+
+from repro.align.recurrences import CostCounter, Frontier, advance_row
+from repro.scoring.scheme import ScoringScheme
+
+ReuseKey = tuple
+
+
+def frontier_reuse_key(frontier: Frontier, query: str, m: int, scheme: ScoringScheme) -> ReuseKey:
+    """Compute the memo key for one fork's frontier (see module docstring)."""
+    cols = sorted(frontier)
+    base = cols[0]
+    rel = tuple((j - base, frontier[j][0], frontier[j][1]) for j in cols)
+    # Upcoming query characters consumed by the diagonal moves.
+    window = tuple(query[j] for j in cols if j < m)  # query[j] == P[j+1]
+    # Right-edge divergence: how far can this row reach past the last column?
+    max_m = max(frontier[j][0] for j in cols)
+    reach = max(0, (max_m + scheme.sg + scheme.ss) // (-scheme.ss)) + 2
+    room = m - cols[-1]
+    edge = room if room <= reach else -1
+    return (rel, window, edge)
+
+
+class ReuseEngine:
+    """Per-row memoisation of fork advances (the Sec. 4 reuse mechanism)."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.reused_cells = 0
+        self.memo_hits = 0
+        self.memo_misses = 0
+
+    def advance_forks(
+        self,
+        frontiers: list[Frontier],
+        x_char: str,
+        query: str,
+        m: int,
+        scheme: ScoringScheme,
+        live: int,
+        counter: CostCounter | None,
+    ) -> list[Frontier]:
+        """Advance every fork frontier one row, sharing identical advances.
+
+        Returns the new frontiers, positionally matching the input list
+        (empty dict = fork died).
+        """
+        if not self.enabled or len(frontiers) < 2:
+            return [
+                advance_row(fr, x_char, query, m, scheme, live, counter)
+                for fr in frontiers
+            ]
+
+        # Cheap pre-grouping: full reuse keys are only built for frontiers
+        # whose (size, score multiset) signature collides — the common case
+        # of all-distinct frontiers costs one tuple per fork.
+        sigs = [
+            (len(fr), sum(cell[0] for cell in fr.values())) if fr else None
+            for fr in frontiers
+        ]
+        sig_counts: dict[tuple, int] = {}
+        for sig in sigs:
+            if sig is not None:
+                sig_counts[sig] = sig_counts.get(sig, 0) + 1
+
+        memo: dict[ReuseKey, tuple[int, Frontier]] = {}
+        out: list[Frontier] = []
+        for fr, sig in zip(frontiers, sigs):
+            if not fr:
+                out.append({})
+                continue
+            if sig_counts[sig] < 2:
+                out.append(
+                    advance_row(fr, x_char, query, m, scheme, live, counter)
+                )
+                continue
+            key = frontier_reuse_key(fr, query, m, scheme)
+            base = min(fr)
+            cached = memo.get(key)
+            if cached is not None:
+                self.memo_hits += 1
+                src_base, src_new = cached
+                shift = base - src_base
+                copied = {j + shift: cell for j, cell in src_new.items()}
+                self.reused_cells += len(copied)
+                out.append(copied)
+                continue
+            self.memo_misses += 1
+            new_fr = advance_row(fr, x_char, query, m, scheme, live, counter)
+            memo[key] = (base, new_fr)
+            out.append(new_fr)
+        return out

@@ -1,0 +1,10 @@
+"""Synthetic biosequence generators (substituting the paper's real datasets)."""
+
+from repro.data.synthetic import (
+    genome,
+    mutate,
+    random_sequence,
+    sample_homologous_queries,
+)
+
+__all__ = ["genome", "mutate", "random_sequence", "sample_homologous_queries"]

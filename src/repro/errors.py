@@ -1,0 +1,29 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class AlphabetError(ReproError):
+    """A sequence contains characters outside the declared alphabet."""
+
+
+class ScoringError(ReproError):
+    """A scoring scheme violates the paper's sign/shape constraints."""
+
+
+class IndexError_(ReproError):
+    """An index (suffix array / FM-index / trie) was built or queried badly."""
+
+
+class SearchError(ReproError):
+    """A search was invoked with inconsistent parameters."""
+
+
+class EValueError(ReproError):
+    """Karlin-Altschul statistics could not be computed for a scheme."""

@@ -1,0 +1,23 @@
+"""Text indexes: suffix array, BWT, FM-index, suffix-trie emulation (Sec. 2.3/5)."""
+
+from repro.index.suffix_array import suffix_array, suffix_array_naive
+from repro.index.bwt import bwt_from_suffix_array, bwt_transform, bwt_inverse
+from repro.index.fm_index import FMIndex
+from repro.index.csa import ReversedTextIndex, EMPTY_RANGE
+from repro.index.suffix_trie import SuffixTrie
+from repro.index.qgram import QGramIndex
+from repro.index.kmer_index import KmerIndex
+
+__all__ = [
+    "suffix_array",
+    "suffix_array_naive",
+    "bwt_transform",
+    "bwt_from_suffix_array",
+    "bwt_inverse",
+    "FMIndex",
+    "ReversedTextIndex",
+    "EMPTY_RANGE",
+    "SuffixTrie",
+    "QGramIndex",
+    "KmerIndex",
+]

@@ -1,0 +1,57 @@
+"""Burrows-Wheeler transform (Sec. 2.3).
+
+BWT appends a sentinel ``$`` (code 0, smaller than any character) to the text
+and emits the character preceding each suffix in suffix-array order.  We work
+on integer code arrays throughout; ``bwt_transform``/``bwt_inverse`` are the
+reference implementations validated against each other in the tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import IndexError_
+from repro.index.suffix_array import suffix_array
+
+
+def bwt_from_suffix_array(codes: np.ndarray, sa: np.ndarray) -> np.ndarray:
+    """BWT of ``codes + [0]`` given its suffix array.
+
+    ``bwt[i] = seq[SA[i] - 1]`` (wrapping to the sentinel position).
+    """
+    codes = np.asarray(codes, dtype=np.int64)
+    n = codes.size + 1
+    if sa.size != n:
+        raise IndexError_(f"suffix array size {sa.size} != text size {n}")
+    seq = np.zeros(n, dtype=np.int64)
+    seq[: n - 1] = codes
+    prev = np.where(sa == 0, n - 1, sa - 1)
+    return seq[prev]
+
+
+def bwt_transform(codes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(bwt, sa)`` for ``codes`` (sentinel appended internally)."""
+    sa = suffix_array(codes)
+    return bwt_from_suffix_array(codes, sa), sa
+
+
+def bwt_inverse(bwt: np.ndarray) -> np.ndarray:
+    """Invert a BWT produced by :func:`bwt_transform` (reversibility check).
+
+    Returns the original code array (without the sentinel).
+    """
+    bwt = np.asarray(bwt, dtype=np.int64)
+    n = bwt.size
+    if n == 0:
+        return bwt
+    # LF mapping: stable position of bwt[i] within the sorted first column.
+    order = np.argsort(bwt, kind="stable")
+    lf = np.empty(n, dtype=np.int64)
+    lf[order] = np.arange(n)
+    out = np.empty(n - 1, dtype=np.int64)
+    # Row 0 holds the sentinel suffix; repeatedly prepend its BWT character.
+    i = 0
+    for k in range(n - 2, -1, -1):
+        out[k] = bwt[i]
+        i = lf[i]
+    return out

@@ -1,0 +1,39 @@
+"""Inverted q-gram lists of the query pattern (Sec. 3.1.3).
+
+ALAE decomposes the query ``P`` into overlapping q-grams and records, for each
+distinct gram, the sorted list of its 1-based start positions.  Fork areas of
+a matrix ``M_X`` begin exactly at the positions of the gram ``X[1..q]``.
+Building the index is one O(m) pass, as the paper notes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+
+class QGramIndex:
+    """Inverted lists of the q-grams of a query string."""
+
+    def __init__(self, query: str, q: int) -> None:
+        if q < 1:
+            raise ValueError(f"q must be >= 1, got {q}")
+        self.query = query
+        self.q = q
+        lists: dict[str, list[int]] = defaultdict(list)
+        for start0 in range(len(query) - q + 1):
+            lists[query[start0 : start0 + q]].append(start0 + 1)
+        self._lists = dict(lists)
+
+    def positions(self, gram: str) -> list[int]:
+        """Sorted 1-based start positions of ``gram`` in the query."""
+        return self._lists.get(gram, [])
+
+    def grams(self) -> list[str]:
+        """All distinct q-grams, in first-occurrence order of the dict."""
+        return list(self._lists)
+
+    def __contains__(self, gram: str) -> bool:
+        return gram in self._lists
+
+    def __len__(self) -> int:
+        return len(self._lists)

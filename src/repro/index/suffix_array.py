@@ -1,0 +1,71 @@
+"""Suffix array construction (Manber-Myers prefix doubling, numpy).
+
+The suffix array ``SA[0, n]`` of ``T'ated = T + '$'`` stores the starting
+position of the i-th lexicographically smallest suffix (Sec. 2.3).  The
+sentinel is represented implicitly: callers pass the *code array* of the text
+(values ``>= 1``) and the construction appends a virtual smallest character 0.
+
+``suffix_array`` runs in O(n log n) time using numpy lexsorts and is the
+production path; ``suffix_array_naive`` is an O(n^2 log n) oracle used by the
+test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import IndexError_
+
+
+def suffix_array_naive(codes: np.ndarray) -> np.ndarray:
+    """Sort suffixes of ``codes + [0]`` by brute force (test oracle)."""
+    seq = list(np.asarray(codes, dtype=np.int64)) + [0]
+    order = sorted(range(len(seq)), key=lambda i: seq[i:])
+    return np.asarray(order, dtype=np.int64)
+
+
+def suffix_array(codes: np.ndarray) -> np.ndarray:
+    """Prefix-doubling suffix array of ``codes`` with an appended sentinel 0.
+
+    Parameters
+    ----------
+    codes:
+        1-d integer array of character codes, all ``>= 1`` (0 is reserved for
+        the sentinel).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``SA`` of length ``len(codes) + 1``; ``SA[0]`` is always the sentinel
+        position ``len(codes)``.
+    """
+    codes = np.asarray(codes, dtype=np.int64)
+    if codes.ndim != 1:
+        raise IndexError_("codes must be a 1-d array")
+    if codes.size and codes.min() < 1:
+        raise IndexError_("character codes must be >= 1 (0 is the sentinel)")
+    n = codes.size + 1
+    seq = np.zeros(n, dtype=np.int64)
+    seq[: n - 1] = codes
+
+    # rank[i] = rank of suffix i by its first k characters.
+    order = np.argsort(seq, kind="stable")
+    rank = np.zeros(n, dtype=np.int64)
+    rank[order] = np.cumsum(
+        np.concatenate(([0], (seq[order[1:]] != seq[order[:-1]]).astype(np.int64)))
+    )
+    k = 1
+    while k < n:
+        # Second key: rank of suffix i+k (suffixes past the end rank lowest).
+        second = np.full(n, -1, dtype=np.int64)
+        second[: n - k] = rank[k:]
+        order = np.lexsort((second, rank))
+        pair = np.stack((rank[order], second[order]), axis=1)
+        changed = np.any(pair[1:] != pair[:-1], axis=1).astype(np.int64)
+        new_rank = np.zeros(n, dtype=np.int64)
+        new_rank[order] = np.cumsum(np.concatenate(([0], changed)))
+        rank = new_rank
+        if rank[order[-1]] == n - 1:
+            break
+        k *= 2
+    return order.astype(np.int64)

@@ -1,0 +1,78 @@
+"""Explicit suffix trie (Sec. 2.3) for small texts.
+
+Each path from the root represents one distinct substring of ``T``; a node
+stores the 1-based *end* positions of every occurrence of its path.  The
+BASIC algorithm (Algorithm 1) and several test oracles traverse this structure
+directly.  Memory is O(n^2), so it is only suitable for texts up to a few
+thousand characters — the production traversal uses
+:class:`repro.index.csa.ReversedTextIndex` instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class TrieNode:
+    """One suffix-trie node: children by character, occurrence end positions."""
+
+    depth: int
+    children: dict[str, "TrieNode"] = field(default_factory=dict)
+    ends: list[int] = field(default_factory=list)
+
+
+class SuffixTrie:
+    """Suffix trie of a text (1-based positions throughout)."""
+
+    def __init__(self, text: str, max_depth: int | None = None) -> None:
+        self.text = text
+        self.n = len(text)
+        self.max_depth = max_depth if max_depth is not None else self.n
+        self.root = TrieNode(depth=0)
+        for start in range(self.n):
+            node = self.root
+            limit = min(self.n, start + self.max_depth)
+            for pos in range(start, limit):
+                char = text[pos]
+                nxt = node.children.get(char)
+                if nxt is None:
+                    nxt = TrieNode(depth=node.depth + 1)
+                    node.children[char] = nxt
+                nxt.ends.append(pos + 1)  # 1-based end of this occurrence
+                node = nxt
+
+    def node_of(self, substring: str) -> TrieNode | None:
+        """Node reached by ``substring``, or ``None`` if absent."""
+        node = self.root
+        for char in substring:
+            node = node.children.get(char)
+            if node is None:
+                return None
+        return node
+
+    def contains(self, substring: str) -> bool:
+        """Whether ``substring`` occurs in the text."""
+        return self.node_of(substring) is not None
+
+    def end_positions(self, substring: str) -> list[int]:
+        """1-based end positions of every occurrence of ``substring``."""
+        node = self.node_of(substring)
+        return sorted(node.ends) if node else []
+
+    def iter_paths(self) -> Iterator[tuple[str, TrieNode]]:
+        """Yield ``(substring, node)`` for every node in preorder."""
+        stack: list[tuple[str, TrieNode]] = [("", self.root)]
+        while stack:
+            path, node = stack.pop()
+            if node is not self.root:
+                yield path, node
+            for char in sorted(node.children, reverse=True):
+                stack.append((path + char, node.children[char]))
+
+    def iter_leaf_paths(self) -> Iterator[str]:
+        """Yield every root-to-leaf substring (the suffixes, when untruncated)."""
+        for path, node in self.iter_paths():
+            if not node.children:
+                yield path

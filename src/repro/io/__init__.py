@@ -1,0 +1,12 @@
+"""Sequence I/O: FASTA parsing/writing and multi-sequence databases."""
+
+from repro.io.fasta import FastaRecord, parse_fasta, parse_fasta_file, write_fasta
+from repro.io.database import SequenceDatabase
+
+__all__ = [
+    "FastaRecord",
+    "parse_fasta",
+    "parse_fasta_file",
+    "write_fasta",
+    "SequenceDatabase",
+]

@@ -1,0 +1,90 @@
+"""Sequence collections as one concatenated text (Sec. 2.2).
+
+"Given all the sequences T_1, ..., T_n in the database, we concatenate them
+into a single sequence T.  A local alignment query is then performed directly
+on the sequence T."  :class:`SequenceDatabase` performs that concatenation
+and keeps the offset table needed to attribute global hit positions back to
+``(sequence id, local position)``; hits spanning a concatenation boundary can
+be detected and dropped.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from repro.align.types import Hit
+from repro.errors import ReproError
+from repro.io.fasta import FastaRecord
+
+
+@dataclass(frozen=True)
+class LocatedHit:
+    """A hit attributed to one database sequence (local 1-based positions)."""
+
+    sequence_id: str
+    t_start: int
+    t_end: int
+    p_end: int
+    score: int
+
+
+class SequenceDatabase:
+    """A collection of named sequences exposed as one concatenated text."""
+
+    def __init__(self, records: list[FastaRecord]) -> None:
+        if not records:
+            raise ReproError("database needs at least one sequence")
+        self.records = list(records)
+        self._offsets: list[int] = []  # 0-based global start of each record
+        parts: list[str] = []
+        pos = 0
+        for record in self.records:
+            if not record.sequence:
+                raise ReproError(f"empty sequence {record.identifier!r}")
+            self._offsets.append(pos)
+            parts.append(record.sequence)
+            pos += len(record.sequence)
+        self.text = "".join(parts)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_length(self) -> int:
+        return len(self.text)
+
+    def sequence_at(self, global_pos: int) -> int:
+        """Index of the record containing 1-based global position ``pos``."""
+        if not 1 <= global_pos <= len(self.text):
+            raise ReproError(f"position {global_pos} outside database")
+        return bisect.bisect_right(self._offsets, global_pos - 1) - 1
+
+    def locate_hit(self, hit: Hit) -> LocatedHit | None:
+        """Attribute a global hit to its sequence.
+
+        Returns ``None`` for hits spanning a concatenation boundary (their
+        alignment mixes two database sequences and should be discarded).
+        """
+        start = hit.t_start if hit.t_start else hit.t_end
+        idx_start = self.sequence_at(start)
+        idx_end = self.sequence_at(hit.t_end)
+        if idx_start != idx_end:
+            return None
+        offset = self._offsets[idx_end]
+        return LocatedHit(
+            sequence_id=self.records[idx_end].identifier,
+            t_start=start - offset,
+            t_end=hit.t_end - offset,
+            p_end=hit.p_end,
+            score=hit.score,
+        )
+
+    def locate_hits(self, hits: list[Hit]) -> list[LocatedHit]:
+        """Attribute many hits, silently dropping boundary-spanning ones."""
+        located = []
+        for hit in hits:
+            placed = self.locate_hit(hit)
+            if placed is not None:
+                located.append(placed)
+        return located

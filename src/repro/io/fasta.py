@@ -1,0 +1,76 @@
+"""Minimal, strict FASTA reader/writer.
+
+The experiments consume synthetic sequences, but a credible release must
+round-trip the standard interchange format: multi-record files, wrapped
+sequence lines, comments via ``;`` ignored, upper-casing normalisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from repro.errors import ReproError
+
+
+class FastaError(ReproError):
+    """Malformed FASTA input."""
+
+
+@dataclass(frozen=True)
+class FastaRecord:
+    """One FASTA record: ``>header`` line (without ``>``) and its sequence."""
+
+    header: str
+    sequence: str
+
+    @property
+    def identifier(self) -> str:
+        """First whitespace-separated token of the header."""
+        return self.header.split()[0] if self.header.split() else ""
+
+
+def parse_fasta(text: str) -> list[FastaRecord]:
+    """Parse FASTA-formatted text into records (sequences upper-cased)."""
+    records: list[FastaRecord] = []
+    header: str | None = None
+    chunks: list[str] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith(";"):
+            continue
+        if line.startswith(">"):
+            if header is not None:
+                records.append(FastaRecord(header, "".join(chunks).upper()))
+            header = line[1:].strip()
+            chunks = []
+        else:
+            if header is None:
+                raise FastaError(f"sequence data before any header (line {lineno})")
+            chunks.append(line)
+    if header is not None:
+        records.append(FastaRecord(header, "".join(chunks).upper()))
+    if not records:
+        raise FastaError("no FASTA records found")
+    return records
+
+
+def parse_fasta_file(path: str | Path) -> list[FastaRecord]:
+    """Parse a FASTA file from disk."""
+    with open(path, "r", encoding="ascii") as handle:
+        return parse_fasta(handle.read())
+
+
+def write_fasta(
+    records: Iterable[FastaRecord], path: str | Path, width: int = 70
+) -> None:
+    """Write records to ``path`` with line-wrapped sequences."""
+    if width < 1:
+        raise FastaError(f"line width must be >= 1, got {width}")
+    with open(path, "w", encoding="ascii") as handle:
+        for record in records:
+            handle.write(f">{record.header}\n")
+            seq = record.sequence
+            for start in range(0, len(seq), width):
+                handle.write(seq[start : start + width] + "\n")

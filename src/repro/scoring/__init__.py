@@ -1,0 +1,19 @@
+"""Affine-gap scoring schemes and Karlin-Altschul E-value statistics."""
+
+from repro.scoring.scheme import (
+    BLAST_DNA_SCHEMES,
+    BLAST_PROTEIN_SCHEMES,
+    DEFAULT_SCHEME,
+    ScoringScheme,
+)
+from repro.scoring.evalue import KarlinAltschul, evalue_to_score, score_to_evalue
+
+__all__ = [
+    "ScoringScheme",
+    "DEFAULT_SCHEME",
+    "BLAST_DNA_SCHEMES",
+    "BLAST_PROTEIN_SCHEMES",
+    "KarlinAltschul",
+    "evalue_to_score",
+    "score_to_evalue",
+]

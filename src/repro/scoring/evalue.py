@@ -1,0 +1,138 @@
+"""Karlin-Altschul statistics: E-value <-> score threshold (Sec. 7).
+
+The paper sets the threshold ``H`` indirectly through an expectation value:
+
+    E = K * m * n * exp(-lambda * S)        (Karlin & Altschul 1990)
+    H = ceil((ln(K m n) - ln E) / lambda)   (as used by OASIS / the paper)
+
+``lambda`` is the unique positive root of ``sum_s p(s) exp(lambda s) = 1``
+where ``p`` is the single-column score distribution (uniform background
+frequencies, so a match has probability ``1/sigma``).  ``K`` is computed with
+the lattice-case formula of Karlin, Dembo & Kawabata:
+
+    K = d * lambda * exp(-2 * sigma_sum) / (H_ent * (1 - exp(-lambda * d)))
+
+where ``d`` is the score lattice span (gcd of attained scores), ``H_ent`` is
+the relative entropy ``lambda * E_q[S]`` of the conjugate distribution, and
+``sigma_sum = sum_{k>=1} (1/k) (E[exp(lambda S_k); S_k < 0] + P(S_k >= 0))``
+is evaluated by repeated convolution of the score distribution (the series
+converges geometrically because the walk drifts to ``-infinity``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.errors import EValueError
+from repro.scoring.scheme import ScoringScheme
+
+
+def _score_distribution(scheme: ScoringScheme, sigma: int) -> dict[int, float]:
+    """Single aligned-column score distribution under uniform backgrounds."""
+    p_match = 1.0 / sigma
+    return {scheme.sa: p_match, scheme.sb: 1.0 - p_match}
+
+
+def _solve_lambda(dist: dict[int, float]) -> float:
+    """Positive root of ``sum p(s) e^(lambda s) = 1`` by bisection."""
+    mean = sum(s * p for s, p in dist.items())
+    if mean >= 0:
+        raise EValueError(
+            "expected per-column score must be negative for Karlin-Altschul "
+            f"statistics (got {mean:.4f}); use a harsher mismatch penalty"
+        )
+
+    def f(lam: float) -> float:
+        return sum(p * math.exp(lam * s) for s, p in dist.items()) - 1.0
+
+    lo, hi = 1e-9, 1.0
+    while f(hi) < 0:
+        hi *= 2.0
+        if hi > 1e4:
+            raise EValueError("failed to bracket lambda")
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if f(mid) < 0:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def _compute_k(dist: dict[int, float], lam: float, iterations: int = 60) -> float:
+    """Lattice-case K via the Karlin-Dembo-Kawabata series (see module doc)."""
+    scores = sorted(dist)
+    d = 0
+    for s in scores:
+        d = math.gcd(d, abs(s))
+    d = max(d, 1)
+
+    # Relative entropy of the conjugate distribution q(s) = p(s) e^(lam s).
+    h_ent = lam * sum(s * p * math.exp(lam * s) for s, p in dist.items())
+
+    # Convolve the step distribution to get S_k, accumulate the sigma series.
+    low, high = min(scores), max(scores)
+    step = np.zeros(high - low + 1)
+    for s, p in dist.items():
+        step[s - low] = p
+    sigma_sum = 0.0
+    cur = np.array([1.0])  # S_0 = 0 with probability 1
+    for k in range(1, iterations + 1):
+        cur = np.convolve(cur, step)
+        # After k convolutions the support of S_k is [k*low, k*high].
+        values = np.arange(k * low, k * high + 1)
+        neg = values < 0
+        term = float(
+            np.sum(cur[neg] * np.exp(lam * values[neg])) + np.sum(cur[~neg])
+        )
+        sigma_sum += term / k
+    k_val = (
+        d * lam * math.exp(-2.0 * sigma_sum) / (h_ent * (1.0 - math.exp(-lam * d)))
+    )
+    return k_val
+
+
+@dataclass(frozen=True)
+class KarlinAltschul:
+    """Computed ``(lambda, K)`` pair for a scheme/alphabet combination."""
+
+    lam: float
+    k: float
+
+    @staticmethod
+    @lru_cache(maxsize=64)
+    def from_scheme(scheme: ScoringScheme, sigma: int) -> "KarlinAltschul":
+        """Compute statistics for ``scheme`` over an alphabet of size ``sigma``."""
+        dist = _score_distribution(scheme, sigma)
+        lam = _solve_lambda(dist)
+        k = _compute_k(dist, lam)
+        return KarlinAltschul(lam=lam, k=k)
+
+    def evalue(self, score: int, m: int, n: int) -> float:
+        """``E = K m n exp(-lambda S)``."""
+        return self.k * m * n * math.exp(-self.lam * score)
+
+    def score_threshold(self, e_value: float, m: int, n: int) -> int:
+        """``H = ceil((ln(K m n) - ln E) / lambda)`` (Sec. 7)."""
+        if e_value <= 0:
+            raise EValueError(f"E-value must be positive, got {e_value}")
+        h = math.ceil((math.log(self.k * m * n) - math.log(e_value)) / self.lam)
+        return max(1, h)
+
+
+def evalue_to_score(
+    scheme: ScoringScheme, sigma: int, e_value: float, m: int, n: int
+) -> int:
+    """Convenience wrapper: threshold ``H`` for an E-value target."""
+    return KarlinAltschul.from_scheme(scheme, sigma).score_threshold(e_value, m, n)
+
+
+def score_to_evalue(
+    scheme: ScoringScheme, sigma: int, score: int, m: int, n: int
+) -> float:
+    """Convenience wrapper: E-value of an alignment score."""
+    return KarlinAltschul.from_scheme(scheme, sigma).evalue(score, m, n)

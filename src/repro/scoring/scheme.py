@@ -1,0 +1,168 @@
+"""The paper's affine-gap scoring scheme ``<sa, sb, sg, ss>`` (Sec. 2.1).
+
+* ``sa > 0``  — score of an identical mapping (match),
+* ``sb < 0``  — score of a substitution (mismatch),
+* ``sg < 0``  — gap *opening* penalty,
+* ``ss < 0``  — gap *extension* penalty per inserted/deleted character.
+
+A gap of ``r`` characters costs ``sg + r * ss``.  The default scheme used by
+BLAST and BWT-SW (and throughout the paper's examples) is ``<1, -3, -5, -2>``.
+
+Derived quantities implemented here:
+
+* :meth:`ScoringScheme.q` — the exact-match prefix length of Eq. 2,
+  ``q = floor(min(|sb|, |sg + ss|) / sa) + 1``.
+* :meth:`ScoringScheme.length_bounds` — Theorem 1's admissible row interval
+  ``[ceil(H / sa), Lmax]`` with
+  ``Lmax = max(m, m + floor((H - (sa * m + sg)) / ss))``.
+* :meth:`ScoringScheme.delta` — the match/mismatch score ``delta(x, p)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ScoringError
+
+
+@dataclass(frozen=True)
+class ScoringScheme:
+    """An affine-gap scoring scheme ``<sa, sb, sg, ss>``."""
+
+    sa: int
+    sb: int
+    sg: int
+    ss: int
+
+    def __post_init__(self) -> None:
+        if self.sa <= 0:
+            raise ScoringError(f"sa must be positive, got {self.sa}")
+        if self.sb >= 0:
+            raise ScoringError(f"sb must be negative, got {self.sb}")
+        if self.sg >= 0:
+            raise ScoringError(f"sg must be negative, got {self.sg}")
+        if self.ss >= 0:
+            raise ScoringError(f"ss must be negative, got {self.ss}")
+
+    # ------------------------------------------------------------------ basic
+    def delta(self, x: str, p: str) -> int:
+        """Substitution score of aligning text char ``x`` with query char ``p``."""
+        return self.sa if x == p else self.sb
+
+    def gap_cost(self, r: int) -> int:
+        """Score contribution of a gap of ``r >= 1`` characters: ``sg + r*ss``."""
+        if r < 1:
+            raise ScoringError(f"gap length must be >= 1, got {r}")
+        return self.sg + r * self.ss
+
+    @property
+    def gap_open_extend(self) -> int:
+        """``sg + ss`` — the cost of opening a length-1 gap."""
+        return self.sg + self.ss
+
+    # ------------------------------------------------------------- derived q
+    @property
+    def q(self) -> int:
+        """Exact-match prefix length (Eq. 2).
+
+        ``q = floor(min(|sb|, |sg + ss|) / sa) + 1``: any alignment whose every
+        prefix scores positively must begin with ``q`` consecutive matches.
+        """
+        return min(abs(self.sb), abs(self.sg + self.ss)) // self.sa + 1
+
+    # -------------------------------------------------------------- Theorem 1
+    def max_alignment_length(self, m: int, threshold: int) -> int:
+        """``Lmax`` of Theorem 1 for a query of length ``m`` and threshold ``H``.
+
+        The longest text substring that can still reach score ``H``:
+        ``max(m, m + floor((H - (sa*m + sg)) / ss))``.
+        """
+        if m <= 0:
+            raise ScoringError(f"query length must be positive, got {m}")
+        with_gaps = m + math.floor((threshold - (self.sa * m + self.sg)) / self.ss)
+        return max(m, with_gaps)
+
+    def min_alignment_length(self, threshold: int) -> int:
+        """Smallest admissible row ``ceil(H / sa)`` of Theorem 1."""
+        return max(1, math.ceil(threshold / self.sa))
+
+    def length_bounds(self, m: int, threshold: int) -> tuple[int, int]:
+        """Theorem 1 interval ``[ceil(H/sa), Lmax]`` of meaningful rows."""
+        return self.min_alignment_length(threshold), self.max_alignment_length(
+            m, threshold
+        )
+
+    # ------------------------------------------------------------- Theorem 2
+    def dead_threshold(self, i: int, j: int, m: int, threshold: int, lmax: int) -> int:
+        """Score-filter bound of Theorem 2.
+
+        The ``(i, j)`` entry is meaningless when its score is ``<=`` the
+        returned value: no continuation (at most one match per remaining
+        column/row) can lift it back to ``threshold``.
+        """
+        return max(
+            0,
+            threshold - (m - j) * self.sa - 1,
+            threshold - (lmax - i) * self.sa - 1,
+        )
+
+    # ------------------------------------------------------------------ misc
+    @property
+    def fgoe_bound(self) -> int:
+        """FGOE score bound ``|sg + ss|`` (Sec. 3.1.3).
+
+        A no-gap-region cell becomes a *first gap open entry* when its score
+        exceeds this bound, i.e. a gap opened from it can stay positive.
+        """
+        return abs(self.sg + self.ss)
+
+    def supports_bwt_sw(self) -> bool:
+        """BWT-SW's usability constraint ``|sb| >= 3 |sa|`` (Sec. 2.4)."""
+        return abs(self.sb) >= 3 * self.sa
+
+    def as_tuple(self) -> tuple[int, int, int, int]:
+        """Return ``(sa, sb, sg, ss)``."""
+        return (self.sa, self.sb, self.sg, self.ss)
+
+    def __str__(self) -> str:
+        return f"<{self.sa},{self.sb},{self.sg},{self.ss}>"
+
+
+#: The default scheme of BLAST and BWT-SW, used in all paper examples.
+DEFAULT_SCHEME = ScoringScheme(1, -3, -5, -2)
+
+#: BLAST's published (sa, sb) grid crossed with the |sg|/|sa| and |ss|/|sa|
+#: ratios the paper quotes in Sec. 6 ("for most of the parameters,
+#: |sg|/|sa| in {1, 2, 3, 5} and |ss|/|sa| in {1, 2}").
+BLAST_MATCH_MISMATCH = [(1, -2), (1, -3), (1, -4), (2, -3), (4, -5), (1, -1)]
+BLAST_GAP_RATIOS = [(g, s) for g in (1, 2, 3, 5) for s in (1, 2)]
+
+
+def blast_scheme_grid(match_mismatch=None, gap_ratios=None) -> list[ScoringScheme]:
+    """Enumerate the Sec. 6 grid of BLAST-style schemes.
+
+    Gap penalties scale with ``sa`` so the ratios |sg|/|sa|, |ss|/|sa| match
+    the paper's quoted ranges.
+    """
+    pairs = BLAST_MATCH_MISMATCH if match_mismatch is None else match_mismatch
+    ratios = BLAST_GAP_RATIOS if gap_ratios is None else gap_ratios
+    return [
+        ScoringScheme(sa, sb, -g * sa, -s * sa)
+        for sa, sb in pairs
+        for g, s in ratios
+    ]
+
+
+#: Representative DNA schemes from the experiments (Fig. 9 / Table 5).
+BLAST_DNA_SCHEMES = {
+    "<1,-3,-5,-2>": ScoringScheme(1, -3, -5, -2),
+    "<1,-4,-5,-2>": ScoringScheme(1, -4, -5, -2),
+    "<1,-1,-5,-2>": ScoringScheme(1, -1, -5, -2),
+    "<1,-3,-2,-2>": ScoringScheme(1, -3, -2, -2),
+}
+
+#: Protein scheme used for the index-size experiment (Sec. 7.5).
+BLAST_PROTEIN_SCHEMES = {
+    "<1,-3,-11,-1>": ScoringScheme(1, -3, -11, -1),
+}

@@ -1,0 +1,5 @@
+"""Experiment workloads (Sec. 7 query/text configurations)."""
+
+from repro.workloads.generator import Workload, make_workload
+
+__all__ = ["Workload", "make_workload"]

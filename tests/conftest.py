@@ -1,0 +1,47 @@
+"""Shared fixtures: deterministic RNGs and small reference sequences."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DEFAULT_SCHEME, DNA, PROTEIN
+
+
+@pytest.fixture
+def rng():
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(20120827)
+
+
+@pytest.fixture
+def paper_text():
+    """The running example text of Sec. 2.3 (T = GCTAGC)."""
+    return "GCTAGC"
+
+
+@pytest.fixture
+def paper_query():
+    """The running example query of Fig. 1 (P = GCTAG)."""
+    return "GCTAG"
+
+
+@pytest.fixture
+def default_scheme():
+    return DEFAULT_SCHEME
+
+
+@pytest.fixture
+def dna():
+    return DNA
+
+
+@pytest.fixture
+def protein():
+    return PROTEIN
+
+
+def random_string(rng, alphabet, length, distinct=None):
+    """Random sequence, optionally restricted to the first ``distinct`` chars."""
+    k = distinct if distinct is not None else alphabet.size
+    return "".join(alphabet.chars[int(c)] for c in rng.integers(0, k, length))

@@ -1,0 +1,132 @@
+"""ALAE engine edge cases and API contract checks."""
+
+import pytest
+
+from repro import ALAE, DEFAULT_SCHEME, DNA, PROTEIN, ScoringScheme
+from repro.align.smith_waterman import smith_waterman_all_hits
+from repro.errors import AlphabetError, SearchError
+
+
+class TestInputValidation:
+    def test_text_validated(self):
+        with pytest.raises(AlphabetError):
+            ALAE("ACGU")
+
+    def test_query_validated(self):
+        engine = ALAE("ACGT")
+        with pytest.raises(AlphabetError):
+            engine.search("ACGU", threshold=2)
+
+    def test_threshold_and_evalue_conflict(self):
+        engine = ALAE("ACGTACGT")
+        with pytest.raises(SearchError):
+            engine.search("ACGT", threshold=3, e_value=10.0)
+
+    def test_zero_threshold_rejected(self):
+        engine = ALAE("ACGTACGT")
+        with pytest.raises(SearchError):
+            engine.search("ACGT", threshold=0)
+
+
+class TestDegenerateQueries:
+    def test_query_shorter_than_q_high_threshold(self):
+        # m = 2 < q = 4 and H = 3 > m * sa: nothing can reach the threshold.
+        engine = ALAE("GCTAGCTA")
+        assert len(engine.search("GC", threshold=3).hits) == 0
+
+    def test_query_shorter_than_q_low_threshold(self):
+        # m = 2, H = 2: the exact 2-gram matches are the full answer.
+        engine = ALAE("GCTAGCTA")
+        res = engine.search("GC", threshold=2)
+        sw = smith_waterman_all_hits("GCTAGCTA", "GC", DEFAULT_SCHEME, 2)
+        assert res.hits.as_score_set() == sw.as_score_set()
+        assert len(res.hits) == 2
+
+    def test_unreachable_threshold(self):
+        engine = ALAE("GCTAGCTA")
+        res = engine.search("GCTA", threshold=100)
+        assert len(res.hits) == 0
+
+    def test_query_chars_absent_from_text(self):
+        engine = ALAE("AAAAAAAA")
+        res = engine.search("CGTCGT", threshold=2)
+        assert len(res.hits) == 0
+
+    def test_single_char_text(self):
+        engine = ALAE("A")
+        res = engine.search("A", threshold=1)
+        assert res.hits.as_score_set() == {(1, 1, 1)}
+
+
+class TestEngineLifecycle:
+    def test_engine_reusable_across_searches(self):
+        text = "GCTAGCTAGCATGCAT"
+        engine = ALAE(text)
+        first = engine.search("GCTAG", threshold=4)
+        second = engine.search("GCAT", threshold=4)
+        third = engine.search("GCTAG", threshold=4)
+        assert first.hits.as_score_set() == third.hits.as_score_set()
+        assert len(second.hits) > 0
+
+    def test_domination_cache_per_q(self):
+        engine = ALAE("GCTAGCTAGCAT")
+        a = engine.domination_index(3)
+        b = engine.domination_index(3)
+        c = engine.domination_index(4)
+        assert a is b
+        assert a is not c
+
+    def test_searches_with_different_schemes_need_new_engine(self):
+        # Scheme is fixed at construction; verify two engines differ.
+        text = "GCTAGCTAGCAT"
+        default = ALAE(text).search("GCTAG", threshold=2)
+        harsh = ALAE(text, scheme=ScoringScheme(1, -4, -5, -2)).search(
+            "GCTAG", threshold=2
+        )
+        sw_default = smith_waterman_all_hits(text, "GCTAG", DEFAULT_SCHEME, 2)
+        sw_harsh = smith_waterman_all_hits(
+            text, "GCTAG", ScoringScheme(1, -4, -5, -2), 2
+        )
+        assert default.hits.as_score_set() == sw_default.as_score_set()
+        assert harsh.hits.as_score_set() == sw_harsh.as_score_set()
+
+    def test_index_size_reporting(self):
+        engine = ALAE("GCTAGCTAGCAT" * 10)
+        sizes = engine.index_size_bytes()
+        assert sizes["total"] == sizes["bwt_index"] + sizes["dominate_index"]
+        no_dom = ALAE("GCTAGCTAGCAT" * 10, use_domination=False)
+        assert no_dom.index_size_bytes()["dominate_index"] == 0
+
+
+class TestMaterialize:
+    def test_alignment_reaches_hit_score(self):
+        text = "TTTT" + "GATTACAGATTACA" + "TTTT"
+        engine = ALAE(text)
+        res = engine.search("GATTACAGATTACA", threshold=10)
+        best = res.hits.best()
+        alignment = engine.materialize(best, "GATTACAGATTACA")
+        assert alignment.score >= best.score
+
+    def test_protein_materialize(self):
+        text = PROTEIN.chars * 3
+        engine = ALAE(text, alphabet=PROTEIN, scheme=ScoringScheme(1, -3, -11, -1))
+        res = engine.search(PROTEIN.chars[:10], threshold=6)
+        best = res.hits.best()
+        assert best is not None
+        alignment = engine.materialize(best, PROTEIN.chars[:10])
+        assert alignment.score >= best.score
+
+
+class TestStatsContract:
+    def test_elapsed_and_nodes(self):
+        engine = ALAE("GCTAGCTAGCATGCAT")
+        stats = engine.search("GCTAG", threshold=4).stats
+        assert stats.elapsed_seconds > 0
+        assert stats.nodes_visited >= 0
+        assert stats.forks_seeded >= 1
+
+    def test_emr_assigned_counts(self):
+        # Each seeded fork assigns q EMR cells without calculating them.
+        engine = ALAE("GCTAGCTAGCAT")
+        stats = engine.search("GCTAG", threshold=4).stats
+        assert stats.emr_assigned >= 4 * stats.forks_seeded

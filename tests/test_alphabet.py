@@ -1,0 +1,111 @@
+"""Alphabet validation, encoding and generation."""
+
+import numpy as np
+import pytest
+
+from repro import DNA, PROTEIN
+from repro.alphabet import Alphabet
+from repro.alphabet.alphabet import SENTINEL, SEPARATOR
+from repro.errors import AlphabetError
+
+
+class TestAlphabetConstruction:
+    def test_dna_size(self):
+        assert DNA.size == 4
+        assert len(DNA) == 4
+
+    def test_protein_size(self):
+        assert PROTEIN.size == 20
+
+    def test_dna_chars_sorted(self):
+        assert DNA.chars == "ACGT"
+
+    def test_duplicate_chars_rejected(self):
+        with pytest.raises(AlphabetError):
+            Alphabet("bad", "AAC")
+
+    def test_unsorted_chars_rejected(self):
+        with pytest.raises(AlphabetError):
+            Alphabet("bad", "CA")
+
+    def test_sentinel_reserved(self):
+        with pytest.raises(AlphabetError):
+            Alphabet("bad", "$A")
+
+    def test_separator_reserved(self):
+        with pytest.raises(AlphabetError):
+            Alphabet("bad", "#A")
+
+    def test_reserved_chars_distinct(self):
+        assert SENTINEL != SEPARATOR
+
+
+class TestIndexing:
+    def test_index_roundtrip(self):
+        for i, c in enumerate(DNA.chars):
+            assert DNA.index(c) == i
+
+    def test_index_unknown_raises(self):
+        with pytest.raises(AlphabetError):
+            DNA.index("Z")
+
+    def test_contains(self):
+        assert "A" in DNA
+        assert "B" not in DNA
+        assert "B" in PROTEIN or "B" not in PROTEIN  # B is not an amino code
+        assert "W" in PROTEIN
+
+
+class TestValidation:
+    def test_validate_ok(self):
+        DNA.validate("ACGTACGT")
+
+    def test_validate_empty_ok(self):
+        DNA.validate("")
+
+    def test_validate_bad(self):
+        with pytest.raises(AlphabetError) as err:
+            DNA.validate("ACGU")
+        assert "U" in str(err.value)
+
+    def test_is_valid(self):
+        assert DNA.is_valid("GATTACA")
+        assert not DNA.is_valid("GATTACA!")
+
+
+class TestEncoding:
+    def test_encode_decode_roundtrip(self):
+        seq = "GATTACA"
+        codes = DNA.encode(seq)
+        assert codes.dtype == np.uint8
+        assert DNA.decode(codes) == seq
+
+    def test_encode_values(self):
+        assert DNA.encode("ACGT").tolist() == [0, 1, 2, 3]
+
+    def test_encode_rejects_foreign(self):
+        with pytest.raises(AlphabetError):
+            DNA.encode("ACGX")
+
+    def test_protein_roundtrip(self):
+        seq = "MKWVTFISLLLLFSSAYS".replace("B", "A")
+        seq = "".join(c for c in seq if c in PROTEIN.chars)
+        assert PROTEIN.decode(PROTEIN.encode(seq)) == seq
+
+
+class TestRandom:
+    def test_random_sequence_length_and_alphabet(self, rng):
+        seq = DNA.random_sequence(500, rng)
+        assert len(seq) == 500
+        assert set(seq) <= set(DNA.chars)
+
+    def test_random_sequence_zero(self, rng):
+        assert DNA.random_sequence(0, rng) == ""
+
+    def test_random_sequence_negative(self, rng):
+        with pytest.raises(AlphabetError):
+            DNA.random_sequence(-1, rng)
+
+    def test_random_sequence_uses_all_chars(self, rng):
+        seq = PROTEIN.random_sequence(5000, rng)
+        assert set(seq) == set(PROTEIN.chars)

@@ -1,0 +1,110 @@
+"""Section 6 analysis: reproduce the paper's upper-bound constants exactly."""
+
+import pytest
+
+from repro import DEFAULT_SCHEME, ScoringScheme
+from repro.core.analysis import (
+    bwt_sw_bound,
+    entry_bound,
+    lemma4_constants,
+    paper_bound_extremes,
+)
+from repro.errors import ScoringError
+
+
+class TestLemma4Constants:
+    def test_default_scheme_k2(self):
+        # s = 4, sigma = 4: k2 = 4 / sqrt(3) ~ 2.3094.
+        _k1, k2 = lemma4_constants(DEFAULT_SCHEME, 4)
+        assert k2 == pytest.approx(4.0 / 3.0**0.5, rel=1e-12)
+
+    def test_k1_positive_and_below_one(self):
+        k1, _k2 = lemma4_constants(DEFAULT_SCHEME, 4)
+        assert 0 < k1 < 1
+
+    def test_sigma_two_rejected(self):
+        with pytest.raises(ScoringError):
+            lemma4_constants(DEFAULT_SCHEME, 2)
+
+
+class TestPaperConstants:
+    """The exact numbers quoted in Sec. 6 / the abstract."""
+
+    def test_default_dna_exponent(self):
+        # "using ALAE the number is upper bounded by 4.47 m n^0.6038"
+        bound = entry_bound(DEFAULT_SCHEME, 4)
+        assert bound.exponent == pytest.approx(0.6038, abs=5e-4)
+        assert bound.coefficient == pytest.approx(4.47, abs=0.02)
+
+    def test_dna_minimum(self):
+        # "vary from 4.50 m n^0.520 ..." (scheme (1,-4), deep q-prefix)
+        lo, _hi = paper_bound_extremes(4)
+        assert lo.exponent == pytest.approx(0.520, abs=1e-3)
+        assert lo.coefficient == pytest.approx(4.50, abs=0.02)
+        assert (lo.scheme.sa, lo.scheme.sb) == (1, -4)
+
+    def test_dna_maximum(self):
+        # "... to 9.05 m n^0.896" (scheme (1,-1))
+        _lo, hi = paper_bound_extremes(4)
+        assert hi.exponent == pytest.approx(0.896, abs=1e-3)
+        assert hi.coefficient == pytest.approx(9.05, abs=0.02)
+        assert (hi.scheme.sa, hi.scheme.sb) == (1, -1)
+
+    def test_protein_minimum(self):
+        # "vary from 8.28 m n^0.364 ..." for proteins
+        lo, _hi = paper_bound_extremes(20)
+        assert lo.exponent == pytest.approx(0.364, abs=1e-3)
+        assert lo.coefficient == pytest.approx(8.28, abs=0.02)
+
+    def test_protein_maximum(self):
+        # "... to 7.49 m n^0.723"
+        _lo, hi = paper_bound_extremes(20)
+        assert hi.exponent == pytest.approx(0.723, abs=1e-3)
+        assert hi.coefficient == pytest.approx(7.49, abs=0.02)
+
+    def test_alae_beats_bwt_sw_bound(self):
+        # 4.47 m n^0.6038 < 69 m n^0.628 for every realistic n.
+        bound = entry_bound(DEFAULT_SCHEME, 4)
+        for n in (10**6, 10**9):
+            assert bound.entries(1000, n) < bwt_sw_bound(1000, n)
+
+    def test_bwt_sw_bound_value(self):
+        assert bwt_sw_bound(1, 1) == 69.0
+
+
+class TestBoundBehaviour:
+    def test_entries_monotone_in_n(self):
+        bound = entry_bound(DEFAULT_SCHEME, 4)
+        assert bound.entries(100, 10**6) < bound.entries(100, 10**7)
+
+    def test_entries_linear_in_m(self):
+        bound = entry_bound(DEFAULT_SCHEME, 4)
+        assert bound.entries(200, 10**6) == pytest.approx(
+            2 * bound.entries(100, 10**6)
+        )
+
+    def test_harsher_mismatch_smaller_exponent(self):
+        e2 = entry_bound(ScoringScheme(1, -2, -5, -2), 4).exponent
+        e4 = entry_bound(ScoringScheme(1, -4, -5, -2), 4).exponent
+        assert e4 < e2
+
+    def test_protein_exponent_below_dna(self):
+        dna = entry_bound(DEFAULT_SCHEME, 4).exponent
+        prot = entry_bound(DEFAULT_SCHEME, 20).exponent
+        assert prot < dna
+
+    def test_k2_below_sigma_on_grid(self):
+        # Eq. 4 converges iff k2 < sigma; for sigma >= 3 one can show
+        # k2 = s(sigma-1)^(1/s)/(s-1)^((s-1)/s) < sigma for all s >= 2,
+        # so the whole BLAST grid is applicable — verify numerically.
+        from repro.scoring.scheme import blast_scheme_grid
+
+        for sigma in (3, 4, 20):
+            for scheme in blast_scheme_grid():
+                b = entry_bound(scheme, sigma)
+                assert b.k2 < sigma
+
+    def test_exponent_in_unit_interval(self):
+        for scheme in (DEFAULT_SCHEME, ScoringScheme(1, -2, -5, -2)):
+            b = entry_bound(scheme, 4)
+            assert 0 < b.exponent < 1

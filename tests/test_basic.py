@@ -1,0 +1,50 @@
+"""BASIC algorithm (Algorithm 1) specifics beyond engine equivalence."""
+
+from repro import DEFAULT_SCHEME, basic_search, smith_waterman_all_hits
+
+
+class TestBasicSearch:
+    def test_paper_figure1_matrix(self):
+        # Fig. 1 computes M_X for X = GCTA vs P = GCTAG; the diagonal cells
+        # 1..4 and the negative gap cells around them. The A-fold keeps the
+        # positives that reach the threshold.
+        res = basic_search("GCTA", "GCTAG", DEFAULT_SCHEME, 1)
+        assert res.score_of(4, 4) == 4
+        assert res.score_of(3, 3) == 3
+        assert res.score_of(1, 1) == 1
+
+    def test_fig1_gap_cell(self):
+        # M_X(4, 5) in Fig. 1 is -3 (mismatch path) but the best alignment
+        # ending at (4, 5) in the full problem is via the gap: 4 - 7 < 0, so
+        # the cell never reaches a positive threshold.
+        res = basic_search("GCTA", "GCTAG", DEFAULT_SCHEME, 1)
+        assert res.score_of(4, 5) is None
+
+    def test_empty_inputs(self):
+        assert len(basic_search("", "ACGT", DEFAULT_SCHEME, 1)) == 0
+        assert len(basic_search("ACGT", "", DEFAULT_SCHEME, 1)) == 0
+        assert len(basic_search("ACGT", "ACGT", DEFAULT_SCHEME, 0)) == 0
+
+    def test_threshold_monotonicity(self):
+        text, query = "GCTAGCTAGG", "GCTAG"
+        low = basic_search(text, query, DEFAULT_SCHEME, 1)
+        high = basic_search(text, query, DEFAULT_SCHEME, 4)
+        assert len(high) <= len(low)
+        assert high.as_score_set() <= low.as_score_set()
+
+    def test_t_start_recorded(self):
+        res = basic_search("TTGCTATT", "GCTA", DEFAULT_SCHEME, 4)
+        hits = res.hits()
+        assert len(hits) == 1
+        assert hits[0].t_start == 3
+        assert hits[0].t_end == 6
+
+    def test_matches_sw_on_repeat(self):
+        text, query = "ATATATATAT", "TATA"
+        for h in (1, 2, 4):
+            assert (
+                basic_search(text, query, DEFAULT_SCHEME, h).as_score_set()
+                == smith_waterman_all_hits(
+                    text, query, DEFAULT_SCHEME, h
+                ).as_score_set()
+            )

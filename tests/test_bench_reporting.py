@@ -1,0 +1,47 @@
+"""Bench-layer units: markdown rendering, outcome aggregation."""
+
+from repro.bench.harness import run_query_set
+from repro.bench.reporting import fmt_int, fmt_ratio, fmt_seconds, markdown_table
+
+
+class TestMarkdown:
+    def test_table_shape(self):
+        table = markdown_table(["a", "b"], [[1, 2], [3, 4]])
+        lines = table.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+        assert len(lines) == 4
+
+    def test_formatters(self):
+        assert fmt_seconds(1.23456) == "1.235"
+        assert fmt_ratio(0.1234) == "12.3%"
+        assert fmt_int(1234567) == "1,234,567"
+
+
+class TestRunQuerySet:
+    def test_aggregates_over_queries(self):
+        from repro import ALAE
+
+        text = "GCTAGCTAGCATGCATGCTA"
+        engine = ALAE(text)
+        outcome = run_query_set(
+            engine, ["GCTAG", "GCATG"], "alae", e_value=None, threshold=4
+        )
+        assert outcome.engine == "alae"
+        assert outcome.total_seconds > 0
+        assert outcome.total_hits > 0
+        assert outcome.threshold == 4
+        assert outcome.accessed == outcome.calculated + outcome.reused
+
+    def test_single_query_matches_direct_search(self):
+        from repro import ALAE
+
+        text = "GCTAGCTAGCATGCATGCTA"
+        engine = ALAE(text)
+        direct = engine.search("GCTAG", threshold=4)
+        outcome = run_query_set(
+            engine, ["GCTAG"], "alae", e_value=None, threshold=4
+        )
+        assert outcome.total_hits == len(direct.hits)
+        assert outcome.calculated == direct.stats.calculated

@@ -1,0 +1,90 @@
+"""BWT-SW engine specifics: pruning, constraint, threshold resolution."""
+
+import numpy as np
+import pytest
+
+from repro import BwtSw, DEFAULT_SCHEME, DNA, ScoringScheme, smith_waterman_all_hits
+from repro.align.bwt_sw import resolve_threshold
+from repro.errors import SearchError
+
+
+class TestResolveThreshold:
+    def test_explicit_threshold(self):
+        assert resolve_threshold(7, None, DEFAULT_SCHEME, 4, 10, 100) == 7
+
+    def test_both_rejected(self):
+        with pytest.raises(SearchError):
+            resolve_threshold(7, 10.0, DEFAULT_SCHEME, 4, 10, 100)
+
+    def test_default_evalue_is_ten(self):
+        # No threshold and no E-value -> the BLAST/BWT-SW default E = 10.
+        h_default = resolve_threshold(None, None, DEFAULT_SCHEME, 4, 1000, 10**6)
+        h_ten = resolve_threshold(None, 10.0, DEFAULT_SCHEME, 4, 1000, 10**6)
+        assert h_default == h_ten
+
+    def test_threshold_below_one_rejected(self):
+        with pytest.raises(SearchError):
+            resolve_threshold(0, None, DEFAULT_SCHEME, 4, 10, 100)
+
+
+class TestStrictConstraint:
+    def test_strict_rejects_weak_mismatch(self):
+        # Sec. 2.4: "BWT-SW requires |sb| >= 3 |sa|".
+        with pytest.raises(SearchError):
+            BwtSw("ACGT", scheme=ScoringScheme(1, -1, -5, -2), strict=True)
+
+    def test_strict_accepts_default(self):
+        BwtSw("ACGT", scheme=DEFAULT_SCHEME, strict=True)
+
+    def test_lenient_accepts_any(self):
+        BwtSw("ACGT", scheme=ScoringScheme(1, -1, -5, -2), strict=False)
+
+
+class TestPruning:
+    def test_no_hits_on_disjoint_alphabet_halves(self):
+        res = BwtSw("AAAAAAAA").search("CCCCCCCC", threshold=1)
+        assert len(res.hits) == 0
+
+    def test_entry_cost_is_x3(self):
+        res = BwtSw("GCTAGCTAGCAT").search("GCTAG", threshold=3)
+        assert res.stats.calculated_x1 == 0
+        assert res.stats.calculated_x2 == 0
+        assert res.stats.computation_cost == 3 * res.stats.calculated
+
+    def test_dense_first_row_accounting(self):
+        # Every root character present in the text charges m dense cells.
+        text, query = "GCTAGCAT", "GCTAG"
+        res = BwtSw(text).search(query, threshold=3)
+        roots = len(set(text))
+        assert res.stats.calculated >= roots * len(query)
+
+    def test_never_reuses(self):
+        res = BwtSw("GCTA" * 20).search("GCTAGCTA", threshold=4)
+        assert res.stats.reused == 0
+        assert res.stats.reusing_ratio == 0.0
+
+    def test_nodes_visited_positive(self):
+        res = BwtSw("GCTAGCAT").search("GCTAG", threshold=3)
+        assert res.stats.nodes_visited > 0
+
+
+class TestExactness:
+    def test_matches_sw_on_protein_like(self, rng):
+        text = "".join("ACDE"[int(c)] for c in rng.integers(0, 4, 120))
+        query = "".join("ACDE"[int(c)] for c in rng.integers(0, 4, 18))
+        from repro import PROTEIN
+
+        for threshold in (2, 5):
+            sw = smith_waterman_all_hits(text, query, DEFAULT_SCHEME, threshold)
+            bw = BwtSw(text, PROTEIN).search(query, threshold=threshold)
+            assert bw.hits.as_score_set() == sw.as_score_set()
+
+    def test_finds_gapped_alignment(self):
+        block1, block2 = "ACGTCAACGTCA", "TGCATCTGCATC"
+        text = block1 + "GG" + block2
+        res = BwtSw(text).search(block1 + block2, threshold=3)
+        assert res.hits.score_of(len(text), 24) == 24 - 9
+
+    def test_elapsed_recorded(self):
+        res = BwtSw("GCTAGCAT").search("GCTAG", threshold=3)
+        assert res.stats.elapsed_seconds > 0

@@ -1,0 +1,77 @@
+"""CLI behaviour: search / analyze / generate."""
+
+import pytest
+
+from repro.cli import _load_sequence, _parse_scheme, build_parser, main
+
+
+class TestHelpers:
+    def test_parse_scheme(self):
+        scheme = _parse_scheme("1,-3,-5,-2")
+        assert scheme.as_tuple() == (1, -3, -5, -2)
+
+    def test_parse_scheme_angled(self):
+        assert _parse_scheme("<1,-4,-5,-2>").sb == -4
+
+    def test_parse_scheme_invalid(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_scheme("1,-3,-5")
+
+    def test_load_sequence_literal(self):
+        assert _load_sequence("acgt") == "ACGT"
+
+    def test_load_sequence_fasta(self, tmp_path):
+        path = tmp_path / "x.fa"
+        path.write_text(">a\nAC\n>b\nGT\n")
+        assert _load_sequence(str(path)) == "ACGT"
+
+
+class TestCommands:
+    def test_search_alae(self, capsys):
+        code = main(
+            ["search", "GCTAGCTAGCAT", "GCTAG", "--threshold", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "H=4" in out
+        assert "\t5\t5\t5" in out  # the perfect GCTAG match
+
+    def test_search_each_engine(self, capsys):
+        for engine in ("alae", "bwtsw", "blast"):
+            code = main(
+                ["search", "GCTAGCTAGCATGCTAG", "GCTAG",
+                 "--threshold", "5", "--engine", engine]
+            )
+            assert code == 0
+
+    def test_search_custom_scheme(self, capsys):
+        code = main(
+            ["search", "GCTAGCTA", "GCTA", "--threshold", "3",
+             "--scheme", "1,-4,-5,-2"]
+        )
+        assert code == 0
+
+    def test_analyze(self, capsys):
+        assert main(["analyze"]) == 0
+        out = capsys.readouterr().out
+        assert "0.6038" in out  # the default scheme's exponent appears
+
+    def test_analyze_protein(self, capsys):
+        assert main(["analyze", "--alphabet", "protein"]) == 0
+
+    def test_generate(self, tmp_path, capsys):
+        out_path = tmp_path / "g.fa"
+        code = main(
+            ["generate", "--length", "500", "--seed", "3",
+             "--out", str(out_path)]
+        )
+        assert code == 0
+        content = out_path.read_text()
+        assert content.startswith(">synthetic_dna")
+        assert sum(len(line) for line in content.splitlines()[1:]) == 500
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

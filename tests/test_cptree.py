@@ -1,0 +1,100 @@
+"""Algorithm 2 (CONSTRUCTCPTREE): the common prefix tree of Sec. 4.2."""
+
+import numpy as np
+import pytest
+
+from repro.core.cptree import construct_cp_tree
+
+
+def brute_lcp(a: str, b: str) -> int:
+    n = 0
+    for x, y in zip(a, b):
+        if x != y:
+            break
+        n += 1
+    return n
+
+
+class TestPaperExample:
+    """P = CACGTATACG with j = 2, 4, 6, 8 (Fig. 6)."""
+
+    QUERY = "CACGTATACG"
+    COLUMNS = [2, 4, 6, 8]
+
+    def test_all_suffixes_present(self):
+        tree = construct_cp_tree(self.QUERY, self.COLUMNS)
+        # Final tree holds ACGTATACG, GTATACG, ATACG, ACG (Fig. 6(d)).
+        for j in self.COLUMNS:
+            assert tree.contains_suffix(j)
+
+    def test_absent_string(self):
+        tree = construct_cp_tree(self.QUERY, self.COLUMNS)
+        assert not tree.contains_suffix(1)  # CACGTATACG not inserted
+
+    def test_lcp_pairs(self):
+        tree = construct_cp_tree(self.QUERY, self.COLUMNS)
+        # lcp(ACGTATACG, ACG) = 3 (the shared prefix ACG).
+        assert tree.longest_common_prefix(2, 8) == 3
+        # lcp(GTATACG, ATACG) = 0.
+        assert tree.longest_common_prefix(4, 6) == 0
+
+    def test_root_edge_split_happened(self):
+        # Fig. 6(c): inserting AT after AC splits the A edge.
+        tree = construct_cp_tree(self.QUERY, self.COLUMNS)
+        root_edges = sorted(child.edge for child in tree.root.children.values())
+        assert any(edge == "A" for edge in root_edges)
+
+
+class TestGeneralProperties:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_all_suffixes_random(self, seed):
+        rng = np.random.default_rng(seed)
+        query = "".join("ACGT"[int(c)] for c in rng.integers(0, 2, 40))
+        k = int(rng.integers(2, 6))
+        cols = sorted(
+            rng.choice(np.arange(1, len(query)), size=k, replace=False).tolist()
+        )
+        tree = construct_cp_tree(query, cols)
+        for j in cols:
+            assert tree.contains_suffix(j)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_lcp_matches_brute(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        query = "".join("AC"[int(c)] for c in rng.integers(0, 2, 30))
+        cols = sorted(
+            rng.choice(np.arange(1, len(query)), size=4, replace=False).tolist()
+        )
+        tree = construct_cp_tree(query, cols)
+        for a in cols:
+            for b in cols:
+                if a == b:
+                    continue
+                got = tree.longest_common_prefix(a, b)
+                assert got == brute_lcp(query[a - 1 :], query[b - 1 :])
+
+    def test_single_column(self):
+        tree = construct_cp_tree("GATTACA", [3])
+        assert tree.contains_suffix(3)
+        assert tree.leaf_count() == 1
+
+    def test_empty_columns(self):
+        tree = construct_cp_tree("GATTACA", [])
+        assert tree.leaf_count() == 1  # the bare root
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ValueError):
+            construct_cp_tree("GATTACA", [4, 2])
+
+    def test_repeated_query_shares_prefix(self):
+        # P = (GCTA)^3: suffixes at 1 and 5 share a long prefix.
+        query = "GCTA" * 3
+        tree = construct_cp_tree(query, [1, 5, 9])
+        assert tree.longest_common_prefix(1, 5) == 8
+        assert tree.longest_common_prefix(5, 9) == 4
+
+    def test_leaf_count_bounded(self):
+        query = "GCTA" * 4
+        cols = [1, 5, 9, 13]
+        tree = construct_cp_tree(query, cols)
+        assert tree.leaf_count() <= len(cols)

@@ -1,0 +1,105 @@
+"""Reversed-text CSA: rightward extension and end-position location (Sec. 5)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import DNA
+from repro.errors import IndexError_
+from repro.index.csa import EMPTY_RANGE, ReversedTextIndex
+
+
+def brute_end_positions(text: str, sub: str) -> list[int]:
+    """1-based end positions of every occurrence of sub in text."""
+    return [
+        i + len(sub)
+        for i in range(len(text) - len(sub) + 1)
+        if text[i : i + len(sub)] == sub
+    ]
+
+
+class TestExtension:
+    def test_paper_example_gc(self):
+        # Sec. 5 example: T = GCTAGC, substring GC occurs ending at 2 and 6.
+        csa = ReversedTextIndex("GCTAGC", DNA)
+        rng = csa.range_of("GC")
+        assert sorted(csa.end_positions(rng)) == [2, 6]
+
+    def test_root_covers_everything(self):
+        csa = ReversedTextIndex("ACGT", DNA)
+        lo, hi = csa.root()
+        assert hi - lo == 5  # n + 1 rows including the sentinel
+
+    def test_extend_step_by_step(self):
+        text = "GCTAGCTA"
+        csa = ReversedTextIndex(text, DNA)
+        rng = csa.root()
+        for i, c in enumerate("GCTA", start=1):
+            rng = csa.extend(rng, c)
+            assert csa.occurrence_count(rng) == text.count("GCTA"[:i])
+
+    def test_absent_substring(self):
+        csa = ReversedTextIndex("AAAA", DNA)
+        assert csa.range_of("C") == EMPTY_RANGE
+        assert not csa.contains("AC")
+
+    def test_contains(self):
+        csa = ReversedTextIndex("GATTACA", DNA)
+        for length in range(1, 8):
+            for start in range(0, 8 - length):
+                assert csa.contains("GATTACA"[start : start + length])
+
+    def test_extend_from_empty_stays_empty(self):
+        csa = ReversedTextIndex("ACGT", DNA)
+        assert csa.extend(EMPTY_RANGE, "A") == EMPTY_RANGE
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(IndexError_):
+            ReversedTextIndex("", DNA)
+
+
+class TestEndPositions:
+    def test_vs_brute_force(self, rng):
+        text = "".join(DNA.chars[int(c)] for c in rng.integers(0, 2, 150))
+        csa = ReversedTextIndex(text, DNA, sa_sample=4)
+        for length in (1, 2, 4, 7):
+            for _ in range(5):
+                start = int(rng.integers(0, 150 - length))
+                sub = text[start : start + length]
+                got = sorted(csa.end_positions(csa.range_of(sub)))
+                assert got == brute_end_positions(text, sub)
+
+    def test_full_text_occurrence(self):
+        text = "GATTACA"
+        csa = ReversedTextIndex(text, DNA)
+        assert csa.end_positions(csa.range_of(text)) == [7]
+
+    def test_count_matches_positions(self, rng):
+        text = "".join(DNA.chars[int(c)] for c in rng.integers(0, 4, 200))
+        csa = ReversedTextIndex(text, DNA)
+        sub = text[50:54]
+        rng_ = csa.range_of(sub)
+        assert csa.occurrence_count(rng_) == len(csa.end_positions(rng_))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.text(alphabet="ACGT", min_size=3, max_size=80))
+    def test_property_every_substring_found(self, text):
+        csa = ReversedTextIndex(text, DNA, occ_block=8, sa_sample=4)
+        # every length-3 substring is found with all its end positions
+        for start in range(len(text) - 2):
+            sub = text[start : start + 3]
+            got = sorted(csa.end_positions(csa.range_of(sub)))
+            assert got == brute_end_positions(text, sub)
+
+
+class TestSize:
+    def test_size_reported(self):
+        csa = ReversedTextIndex("ACGT" * 100, DNA)
+        sizes = csa.size_bytes()
+        assert sizes["total"] > 0
+        assert sizes["bwt"] > 0
+
+    def test_size_scales_with_text(self):
+        small = ReversedTextIndex("ACGT" * 50, DNA).size_bytes()["total"]
+        large = ReversedTextIndex("ACGT" * 500, DNA).size_bytes()["total"]
+        assert large > small

@@ -1,0 +1,112 @@
+"""q-prefix domination (Sec. 3.2.2): construction, semantics, soundness."""
+
+import numpy as np
+import pytest
+
+from repro import ALAE, DEFAULT_SCHEME, smith_waterman_all_hits
+from repro.core.domination import DominationIndex
+
+
+class TestConstruction:
+    def test_unique_predecessor(self):
+        # In GCTAGC every occurrence of CTA (pos 2) is preceded by GCT.
+        idx = DominationIndex("GCTAGC", 3)
+        assert idx.unique_predecessor("CTA") == "GCT"
+        assert idx.unique_predecessor("TAG") == "CTA"
+
+    def test_position_one_never_dominated(self):
+        # GCT occurs at position 1 -> no predecessor -> not dominated.
+        idx = DominationIndex("GCTAGC", 3)
+        assert idx.unique_predecessor("GCT") is None
+
+    def test_multiple_predecessors(self):
+        # In ACTAGCTA, CTA occurs at 2 (pred ACT) and 6 (pred GCT) -> multi.
+        idx = DominationIndex("ACTAGCTA", 3)
+        assert idx.unique_predecessor("CTA") is None
+
+    def test_absent_gram(self):
+        idx = DominationIndex("GCTAGC", 3)
+        assert idx.unique_predecessor("AAA") is None
+
+    def test_paper_ab_example(self):
+        # T = ABABAB-style: BA is always preceded by AB; AB occurs at pos 1.
+        idx = DominationIndex("ACACAC", 2)
+        assert idx.unique_predecessor("CA") == "AC"
+        assert idx.unique_predecessor("AC") is None
+
+    def test_homopolymer_self_predecessor_blocked_by_position_one(self):
+        # In AAAA, AA at position 1 has no predecessor -> undominated, which
+        # breaks the would-be self-domination cycle.
+        idx = DominationIndex("AAAA", 2)
+        assert idx.unique_predecessor("AA") is None
+
+    def test_is_dominated_by(self):
+        idx = DominationIndex("GCTAGC", 3)
+        assert idx.is_dominated_by("CTA", "GCT")
+        assert not idx.is_dominated_by("CTA", "AAA")
+        assert not idx.is_dominated_by("GCT", "GCT")
+
+    def test_len_counts_distinct_grams(self):
+        idx = DominationIndex("GCTAGC", 3)
+        assert len(idx) == 4  # GCT, CTA, TAG, AGC
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            DominationIndex("ACGT", 0)
+
+
+class TestSizeModel:
+    def test_dominated_entries_cost_more(self):
+        text = "GCTAGC"
+        idx = DominationIndex(text, 3)
+        expected = idx.dominated_count() * 6 + (len(idx) - idx.dominated_count()) * 4
+        assert idx.size_bytes() == expected
+
+    def test_random_text_mostly_undominated(self, rng):
+        # Long random DNA: every 3-gram has many occurrences with diverse
+        # predecessors, so domination is rare (the Fig. 11 DNA observation).
+        text = "".join("ACGT"[int(c)] for c in rng.integers(0, 4, 20000))
+        idx = DominationIndex(text, 3)
+        assert idx.dominated_count() <= len(idx) * 0.05
+
+    def test_short_text_mostly_dominated(self):
+        # A text of unique q-grams chains predecessors uniquely.
+        text = "ACGTGCA"
+        idx = DominationIndex(text, 4)
+        assert idx.dominated_count() == len(idx) - 1  # all but position 1
+
+
+class TestFilterSoundness:
+    """Skipping dominated forks must never lose results."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_vs_smith_waterman(self, seed):
+        rng = np.random.default_rng(seed)
+        # Low-entropy text maximizes domination opportunities.
+        text = "".join("AC"[int(c)] for c in rng.integers(0, 2, 120))
+        query = "".join("AC"[int(c)] for c in rng.integers(0, 2, 25))
+        for threshold in (2, 5):
+            sw = smith_waterman_all_hits(text, query, DEFAULT_SCHEME, threshold)
+            with_dom = ALAE(text, use_domination=True).search(
+                query, threshold=threshold
+            )
+            without = ALAE(text, use_domination=False).search(
+                query, threshold=threshold
+            )
+            assert with_dom.hits.as_score_set() == sw.as_score_set()
+            assert without.hits.as_score_set() == sw.as_score_set()
+
+    def test_domination_actually_skips(self):
+        # Unique-substring text and query aligned so predecessors match.
+        text = "ACGTGCATTGCCAA"
+        query = text  # P[j-1..] gram always equals the text predecessor
+        engine = ALAE(text, use_domination=True)
+        res = engine.search(query, threshold=8)
+        assert res.stats.forks_skipped_domination > 0
+        sw = smith_waterman_all_hits(text, query, DEFAULT_SCHEME, 8)
+        assert res.hits.as_score_set() == sw.as_score_set()
+
+    def test_skip_count_zero_when_disabled(self):
+        text = "ACGTGCATTGCCAA"
+        res = ALAE(text, use_domination=False).search(text, threshold=8)
+        assert res.stats.forks_skipped_domination == 0

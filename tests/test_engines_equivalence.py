@@ -1,0 +1,208 @@
+"""The central correctness property: ALAE == BWT-SW == BASIC == Smith-Waterman.
+
+The paper's guarantee is exactness — "ALAE guarantees correctness" — so every
+engine must return the identical set of ``(t_end, p_end, score)`` cells for
+any text, query, scheme and threshold.  These tests sweep randomized and
+adversarial inputs, all filter toggles, and hypothesis-generated cases.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    ALAE,
+    DEFAULT_SCHEME,
+    DNA,
+    PROTEIN,
+    BwtSw,
+    ScoringScheme,
+    basic_search,
+    smith_waterman_all_hits,
+)
+
+SCHEMES = [
+    DEFAULT_SCHEME,
+    ScoringScheme(1, -4, -5, -2),
+    ScoringScheme(1, -1, -5, -2),
+    ScoringScheme(1, -3, -2, -2),
+    ScoringScheme(2, -3, -10, -4),
+    ScoringScheme(1, -3, -11, -1),
+]
+
+
+def rand_seq(rng, alphabet, length, distinct):
+    return "".join(alphabet.chars[int(c)] for c in rng.integers(0, distinct, length))
+
+
+class TestFourEngineEquivalence:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_small(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(15, 90))
+        m = int(rng.integers(4, 35))
+        alpha = DNA if seed % 2 else PROTEIN
+        distinct = 2 if seed % 3 == 0 else min(4, alpha.size)
+        text = rand_seq(rng, alpha, n, distinct)
+        query = rand_seq(rng, alpha, m, distinct)
+        scheme = SCHEMES[seed % len(SCHEMES)]
+        for threshold in (1, 3, 7):
+            sw = smith_waterman_all_hits(text, query, scheme, threshold)
+            ba = basic_search(text, query, scheme, threshold)
+            bw = BwtSw(text, alpha, scheme).search(query, threshold=threshold)
+            al = ALAE(text, alpha, scheme).search(query, threshold=threshold)
+            assert sw.as_score_set() == ba.as_score_set()
+            assert sw.as_score_set() == bw.hits.as_score_set()
+            assert sw.as_score_set() == al.hits.as_score_set()
+
+    def test_paper_running_example(self):
+        # T = CTAGCTAG, P = GCTAC, H = 3 (Sec. 3.1.1 example universe).
+        text, query, h = "CTAGCTAG", "GCTAC", 3
+        sw = smith_waterman_all_hits(text, query, DEFAULT_SCHEME, h)
+        al = ALAE(text).search(query, threshold=h)
+        assert sw.as_score_set() == al.hits.as_score_set()
+
+    def test_tandem_repeat_text(self):
+        text = "GCTA" * 25
+        query = "GCTAGCTA"
+        for threshold in (4, 8):
+            sw = smith_waterman_all_hits(text, query, DEFAULT_SCHEME, threshold)
+            al = ALAE(text).search(query, threshold=threshold)
+            bw = BwtSw(text).search(query, threshold=threshold)
+            assert sw.as_score_set() == al.hits.as_score_set()
+            assert sw.as_score_set() == bw.hits.as_score_set()
+
+    def test_homopolymer(self):
+        # A^n vs A^m exercises maximal fork overlap and reuse.
+        text, query = "A" * 60, "A" * 12
+        for threshold in (1, 5, 12):
+            sw = smith_waterman_all_hits(text, query, DEFAULT_SCHEME, threshold)
+            al = ALAE(text).search(query, threshold=threshold)
+            assert sw.as_score_set() == al.hits.as_score_set()
+
+    def test_gapped_alignment_required(self):
+        # The best alignment at the corner cell bridges an internal gap;
+        # catches engines that drop gap regions (the FGOE row tail
+        # regression caught during development).
+        block1, block2 = "ACGTCAACGTCA", "TGCATCTGCATC"
+        text = "TTTTT" + block1 + "GG" + block2 + "TTTTT"
+        query = block1 + block2
+        h = 3
+        sw = smith_waterman_all_hits(text, query, DEFAULT_SCHEME, h)
+        al = ALAE(text).search(query, threshold=h)
+        bw = BwtSw(text).search(query, threshold=h)
+        assert sw.as_score_set() == al.hits.as_score_set()
+        assert sw.as_score_set() == bw.hits.as_score_set()
+        corner = al.hits.score_of(5 + len(block1) + 2 + len(block2), len(query))
+        assert corner == 24 - 9
+
+    def test_query_longer_than_text(self):
+        text = "GATTACA"
+        query = "GATTACAGATTACAGATTACA"
+        sw = smith_waterman_all_hits(text, query, DEFAULT_SCHEME, 4)
+        al = ALAE(text).search(query, threshold=4)
+        assert sw.as_score_set() == al.hits.as_score_set()
+
+    def test_single_char_query(self):
+        text = "GATTACA"
+        sw = smith_waterman_all_hits(text, "A", DEFAULT_SCHEME, 1)
+        al = ALAE(text).search("A", threshold=1)
+        assert sw.as_score_set() == al.hits.as_score_set()
+        assert len(al.hits) == 3
+
+    def test_protein_scheme(self):
+        rng = np.random.default_rng(5)
+        text = rand_seq(rng, PROTEIN, 120, 6)
+        query = rand_seq(rng, PROTEIN, 25, 6)
+        scheme = ScoringScheme(1, -3, -11, -1)
+        for threshold in (2, 6):
+            sw = smith_waterman_all_hits(text, query, scheme, threshold)
+            al = ALAE(text, PROTEIN, scheme).search(query, threshold=threshold)
+            assert sw.as_score_set() == al.hits.as_score_set()
+
+
+class TestFilterTogglesExact:
+    """Every combination of filter switches must preserve the answer set."""
+
+    @pytest.mark.parametrize(
+        "dom,reuse,gbm,score_f",
+        list(itertools.product([False, True], repeat=4)),
+    )
+    def test_toggle_matrix(self, dom, reuse, gbm, score_f):
+        rng = np.random.default_rng(11)
+        text = rand_seq(rng, DNA, 150, 2)
+        query = rand_seq(rng, DNA, 30, 2)
+        sw = smith_waterman_all_hits(text, query, DEFAULT_SCHEME, 4)
+        engine = ALAE(
+            text,
+            use_domination=dom,
+            use_reuse=reuse,
+            use_global_bitmask=gbm,
+            use_score_filter=score_f,
+        )
+        assert engine.search(query, threshold=4).hits.as_score_set() == (
+            sw.as_score_set()
+        )
+
+    def test_no_length_filter(self):
+        rng = np.random.default_rng(12)
+        text = rand_seq(rng, DNA, 100, 2)
+        query = rand_seq(rng, DNA, 20, 2)
+        sw = smith_waterman_all_hits(text, query, DEFAULT_SCHEME, 3)
+        engine = ALAE(text, use_length_filter=False)
+        assert engine.search(query, threshold=3).hits.as_score_set() == (
+            sw.as_score_set()
+        )
+
+
+class TestHitMetadata:
+    def test_t_start_consistent(self):
+        # Re-aligning the reported text window must reproduce >= the score.
+        rng = np.random.default_rng(13)
+        text = rand_seq(rng, DNA, 200, 4)
+        query = text[40:60]  # exact 20-char copy
+        res = ALAE(text).search(query, threshold=10)
+        assert len(res.hits) > 0
+        for hit in res.hits:
+            assert 1 <= hit.t_start <= hit.t_end <= len(text)
+            window = text[hit.t_start - 1 : hit.t_end]
+            best = smith_waterman_all_hits(
+                window, query, DEFAULT_SCHEME, hit.score
+            )
+            assert len(best) > 0  # the window really contains the alignment
+
+    def test_evalue_threshold_resolution(self):
+        rng = np.random.default_rng(14)
+        text = rand_seq(rng, DNA, 300, 4)
+        query = text[100:140]
+        res = ALAE(text).search(query, e_value=10.0)
+        assert res.threshold >= 1
+        sw = smith_waterman_all_hits(text, query, DEFAULT_SCHEME, res.threshold)
+        assert sw.as_score_set() == res.hits.as_score_set()
+
+
+class TestHypothesisEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.text(alphabet="AC", min_size=10, max_size=80),
+        st.text(alphabet="AC", min_size=3, max_size=20),
+        st.integers(1, 8),
+    )
+    def test_alae_equals_sw(self, text, query, threshold):
+        sw = smith_waterman_all_hits(text, query, DEFAULT_SCHEME, threshold)
+        al = ALAE(text).search(query, threshold=threshold)
+        assert sw.as_score_set() == al.hits.as_score_set()
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.text(alphabet="ACGT", min_size=10, max_size=60),
+        st.text(alphabet="ACGT", min_size=3, max_size=15),
+    )
+    def test_bwtsw_equals_sw_scheme_variants(self, text, query):
+        for scheme in (DEFAULT_SCHEME, ScoringScheme(1, -1, -5, -2)):
+            sw = smith_waterman_all_hits(text, query, scheme, 2)
+            bw = BwtSw(text, DNA, scheme).search(query, threshold=2)
+            assert sw.as_score_set() == bw.hits.as_score_set()

@@ -1,0 +1,114 @@
+"""Local filtering (Sec. 3.1): FilterPlan bounds and their soundness."""
+
+import numpy as np
+import pytest
+
+from repro import DEFAULT_SCHEME, ScoringScheme, smith_waterman_all_hits
+from repro.core.filters import dead_threshold_cell, make_filter_plan
+
+
+class TestFilterPlan:
+    def test_plan_fields(self):
+        plan = make_filter_plan(DEFAULT_SCHEME, m=100, threshold=10)
+        assert plan.q == 4
+        assert plan.min_row == 10
+        assert plan.lmax == DEFAULT_SCHEME.max_alignment_length(100, 10)
+        assert plan.fgoe_bound == 7
+        assert plan.sa_cached == 1
+
+    def test_row_live_threshold_monotone(self):
+        plan = make_filter_plan(DEFAULT_SCHEME, m=100, threshold=30)
+        values = [plan.row_live_threshold(i) for i in range(1, plan.lmax + 1)]
+        assert values == sorted(values)
+        assert values[-1] == 30 - 1  # at i = lmax nothing can be added
+
+    def test_row_live_threshold_disabled(self):
+        plan = make_filter_plan(DEFAULT_SCHEME, m=100, threshold=30)
+        assert plan.row_live_threshold(plan.lmax, use_score_filter=False) == 0
+
+    def test_row_live_floor_zero(self):
+        plan = make_filter_plan(DEFAULT_SCHEME, m=100, threshold=10)
+        assert plan.row_live_threshold(1) == 0
+
+    def test_cell_dead_matches_scheme(self):
+        plan = make_filter_plan(DEFAULT_SCHEME, m=50, threshold=12)
+        for i in (1, 20, 40):
+            for j in (1, 25, 49):
+                bound = dead_threshold_cell(
+                    DEFAULT_SCHEME, i, j, 50, 12, plan.lmax
+                )
+                assert plan.cell_dead(i, j, bound)
+                assert not plan.cell_dead(i, j, bound + 1)
+
+
+class TestLengthFilterSoundness:
+    """No result alignment can be longer than Lmax or shorter than min_row."""
+
+    def test_hit_lengths_within_bounds(self):
+        rng = np.random.default_rng(3)
+        text = "".join("AC"[int(c)] for c in rng.integers(0, 2, 200))
+        query = "".join("AC"[int(c)] for c in rng.integers(0, 2, 30))
+        threshold = 6
+        plan = make_filter_plan(DEFAULT_SCHEME, len(query), threshold)
+        from repro import ALAE
+
+        res = ALAE(text).search(query, threshold=threshold)
+        for hit in res.hits:
+            length = hit.t_end - hit.t_start + 1
+            assert plan.min_row <= length <= plan.lmax
+
+    def test_theorem1_score_cap_by_length(self):
+        # An alignment of text-length i scores at most sa*min(i, m) plus gap
+        # penalties; verify the paper's example numerically via SW.
+        text, query, h = "CTAGCTAG", "GCTAC", 3
+        res = smith_waterman_all_hits(text, query, DEFAULT_SCHEME, h)
+        assert all(hit.score <= 5 for hit in res)
+
+
+class TestScoreFilterSoundness:
+    def test_dead_cell_cannot_recover(self):
+        # From a cell at (i, j) with score <= bound, even all-matches to the
+        # end stay below H: verify the arithmetic of Theorem 2's budget.
+        scheme = DEFAULT_SCHEME
+        m, h = 40, 15
+        lmax = scheme.max_alignment_length(m, h)
+        for i in (5, 20):
+            for j in (5, 30):
+                bound = dead_threshold_cell(scheme, i, j, m, h, lmax)
+                max_gain = min(m - j, lmax - i) * scheme.sa
+                assert bound + max_gain < h or bound == 0
+
+
+class TestQPrefixTheorem:
+    """Theorem 3: surviving alignments start with q exact matches."""
+
+    def test_no_hit_without_q_match(self):
+        # Paper example: X = ACACAT vs P = GCGTGTGA share no 4-gram, so the
+        # whole matrix is meaningless under the default scheme.
+        from repro import ALAE
+
+        res = ALAE("ACACAT").search("GCGTGTGA", threshold=4)
+        assert len(res.hits) == 0
+
+    def test_gram_absent_counted(self):
+        from repro import ALAE
+
+        engine = ALAE("ACACAT")
+        res = engine.search("GCGTGTGA", threshold=4)
+        assert res.stats.grams_absent_in_text == 5  # all P 4-grams miss T
+
+    def test_small_threshold_short_matches(self):
+        # H < q*sa: alignments shorter than q exist and are all-match.
+        from repro import ALAE
+
+        res = ALAE("GATTACA").search("TTA", threshold=2)
+        sw = smith_waterman_all_hits("GATTACA", "TTA", DEFAULT_SCHEME, 2)
+        assert res.hits.as_score_set() == sw.as_score_set()
+
+    def test_q_respects_scheme(self):
+        # For <1,-1,-5,-2> q = 2: a lone 2-gram match scores 2 >= H = 2.
+        scheme = ScoringScheme(1, -1, -5, -2)
+        from repro import ALAE
+
+        res = ALAE("GGTTGG", scheme=scheme).search("TT", threshold=2)
+        assert (4, 2, 2) in res.hits.as_score_set()

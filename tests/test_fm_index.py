@@ -1,0 +1,123 @@
+"""FM-index: occ/rank, backward search, locate — against brute force."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import DNA
+from repro.errors import IndexError_
+from repro.index.fm_index import FMIndex
+
+
+def codes_of(text: str) -> np.ndarray:
+    return DNA.encode(text).astype(np.int64) + 1
+
+
+def brute_occurrences(text: str, pattern: str) -> list[int]:
+    """0-based start positions of pattern in text, brute force."""
+    return [
+        i for i in range(len(text) - len(pattern) + 1)
+        if text[i : i + len(pattern)] == pattern
+    ]
+
+
+@pytest.fixture
+def fm_small():
+    return FMIndex(codes_of("GCTAGCTAGCATGC"), sigma=4, occ_block=4, sa_sample=4)
+
+
+class TestOcc:
+    def test_occ_matches_bwt_prefix_counts(self, rng):
+        text = "".join(DNA.chars[int(c)] for c in rng.integers(0, 4, 100))
+        fm = FMIndex(codes_of(text), sigma=4, occ_block=8, sa_sample=4)
+        bwt = np.frombuffer(fm._bwt, dtype=np.uint8)
+        for c in range(5):
+            for i in (0, 1, 7, 8, 9, 50, 100, len(bwt)):
+                assert fm.occ(c, i) == int(np.count_nonzero(bwt[:i] == c))
+
+    def test_lf_is_permutation(self, fm_small):
+        size = fm_small.n + 1
+        targets = sorted(fm_small.lf(i) for i in range(size))
+        assert targets == list(range(size))
+
+
+class TestBackwardSearch:
+    def test_count_vs_brute(self, rng):
+        text = "".join(DNA.chars[int(c)] for c in rng.integers(0, 4, 300))
+        fm = FMIndex(codes_of(text), sigma=4)
+        for length in (1, 2, 3, 5, 8):
+            for _ in range(10):
+                start = int(rng.integers(0, 300 - length))
+                pattern = text[start : start + length]
+                assert fm.count(codes_of(pattern)) == len(
+                    brute_occurrences(text, pattern)
+                )
+
+    def test_absent_pattern(self):
+        fm = FMIndex(codes_of("AAAA"), sigma=4)
+        assert fm.count(codes_of("C")) == 0
+        assert fm.count(codes_of("AC")) == 0
+
+    def test_empty_pattern_full_range(self, fm_small):
+        lo, hi = fm_small.backward_search(np.array([], dtype=np.int64))
+        assert (lo, hi) == (0, fm_small.n + 1)
+
+    def test_extend_left_incremental(self):
+        text = "GCTAGC"
+        fm = FMIndex(codes_of(text), sigma=4)
+        # Ranges must agree with direct backward search at each step.
+        pattern = "AGC"
+        rng_ = fm.full_range()
+        for i in range(len(pattern) - 1, -1, -1):
+            rng_ = fm.extend_left(rng_, int(codes_of(pattern[i])[0]))
+            direct = fm.backward_search(codes_of(pattern[i:]))
+            assert rng_ == direct
+
+    def test_extend_empty_range_stays_empty(self, fm_small):
+        assert fm_small.extend_left((0, 0), 1) == (0, 0)
+
+
+class TestLocate:
+    def test_locate_vs_brute(self, rng):
+        text = "".join(DNA.chars[int(c)] for c in rng.integers(0, 4, 200))
+        fm = FMIndex(codes_of(text), sigma=4, sa_sample=8)
+        for length in (2, 4, 6):
+            start = int(rng.integers(0, 200 - length))
+            pattern = text[start : start + length]
+            got = sorted(fm.locate(fm.backward_search(codes_of(pattern))))
+            assert got == brute_occurrences(text, pattern)
+
+    def test_locate_every_row(self, fm_small):
+        # locate_row over the whole SA must be a permutation of positions.
+        size = fm_small.n + 1
+        positions = sorted(fm_small.locate_row(r) for r in range(size))
+        assert positions == list(range(size))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.text(alphabet="ACGT", min_size=4, max_size=100), st.integers(0, 200))
+    def test_property_locate(self, text, seed):
+        rng = np.random.default_rng(seed)
+        fm = FMIndex(codes_of(text), sigma=4, occ_block=8, sa_sample=4)
+        length = int(rng.integers(1, min(6, len(text)) + 1))
+        start = int(rng.integers(0, len(text) - length + 1))
+        pattern = text[start : start + length]
+        got = sorted(fm.locate(fm.backward_search(codes_of(pattern))))
+        assert got == brute_occurrences(text, pattern)
+
+
+class TestSizeAndValidation:
+    def test_size_breakdown_totals(self, fm_small):
+        sizes = fm_small.size_bytes()
+        parts = sizes["bwt"] + sizes["occ_checkpoints"] + sizes["sa_samples"]
+        parts += sizes["c_array"]
+        assert sizes["total"] == parts
+
+    def test_dna_bwt_two_bits_per_char(self):
+        fm = FMIndex(codes_of("ACGT" * 256), sigma=4)
+        # ceil(log2(5)) = 3 bits per char in our model (sentinel included).
+        assert fm.size_bytes()["bwt"] == (1024 + 1) * 3 // 8 + 1
+
+    def test_rejects_out_of_range_codes(self):
+        with pytest.raises(IndexError_):
+            FMIndex(np.array([1, 9]), sigma=4)

@@ -1,0 +1,79 @@
+"""Online bit-matrix global filter (Sec. 3.2.1 / Theorem 4)."""
+
+import numpy as np
+
+from repro import ALAE, DEFAULT_SCHEME, smith_waterman_all_hits
+from repro.core.global_filter import GlobalBitMatrix
+
+
+class TestBitMatrix:
+    def test_mark_and_check(self):
+        g = GlobalBitMatrix(10, 5)
+        g.mark([3, 7], 2)
+        assert g.all_marked([3], 2)
+        assert g.all_marked([3, 7], 2)
+        assert not g.all_marked([3, 8], 2)
+        assert not g.all_marked([3], 3)
+
+    def test_empty_ends_never_marked(self):
+        g = GlobalBitMatrix(10, 5)
+        assert not g.all_marked([], 1)
+        g.mark([], 1)  # no-op
+        assert g.marked_cells() == 0
+
+    def test_marked_cells_counts(self):
+        g = GlobalBitMatrix(10, 5)
+        g.mark([1, 2, 3], 4)
+        g.mark([1], 4)  # idempotent
+        assert g.marked_cells() == 3
+
+    def test_size_one_bit_per_cell(self):
+        g = GlobalBitMatrix(100, 50)
+        assert g.size_bytes() == (101 * 51 + 7) // 8
+
+    def test_paper_example_vector(self):
+        # Sec. 3.2.1: after processing M_X' for X' = GCTA in T = GCTAGCTA,
+        # the (1,2)-entry check for X = CTAG passes (z AND column == z).
+        g = GlobalBitMatrix(8, 5)
+        # Mark the diagonal of the GCTA fork at columns 1..4 and 5,
+        # matching the example's boolean matrix (ends 1..8 diag pattern).
+        for end, j in [(1, 1), (2, 2), (3, 3), (4, 4), (1, 5),
+                       (5, 1), (6, 2), (7, 3), (8, 4)]:
+            g.mark([end], j)
+        # X = CTAG starts at position 2 -> its (1, 2)-entry has end 2.
+        assert g.all_marked([2], 2)
+
+
+class TestEngineWithBitmask:
+    def test_exactness_preserved(self, rng):
+        text = "".join("AC"[int(c)] for c in rng.integers(0, 2, 150))
+        query = "".join("AC"[int(c)] for c in rng.integers(0, 2, 25))
+        for threshold in (2, 5):
+            sw = smith_waterman_all_hits(text, query, DEFAULT_SCHEME, threshold)
+            res = ALAE(text, use_global_bitmask=True).search(
+                query, threshold=threshold
+            )
+            assert res.hits.as_score_set() == sw.as_score_set()
+
+    def test_bitmask_skips_on_repetitive_text(self):
+        # Heavy repetition: later forks' seed cells are covered by earlier
+        # longer paths, so Theorem 4 case 2 fires.
+        text = "GCTA" * 30
+        query = "GCTA" * 5
+        res = ALAE(text, use_global_bitmask=True, use_domination=False).search(
+            query, threshold=8
+        )
+        assert res.stats.forks_skipped_global > 0
+        sw = smith_waterman_all_hits(text, query, DEFAULT_SCHEME, 8)
+        assert res.hits.as_score_set() == sw.as_score_set()
+
+    def test_stats_expose_bitmask_cells(self):
+        text = "GCTA" * 10
+        res = ALAE(text, use_global_bitmask=True).search("GCTAGCTA", threshold=4)
+        assert res.stats.extra["bitmask_cells"] > 0
+
+    def test_disabled_by_default(self):
+        text = "GCTA" * 10
+        res = ALAE(text).search("GCTAGCTA", threshold=4)
+        assert "bitmask_cells" not in res.stats.extra
+        assert res.stats.forks_skipped_global == 0

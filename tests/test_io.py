@@ -1,0 +1,120 @@
+"""FASTA parsing/writing and the concatenated sequence database."""
+
+import pytest
+
+from repro.align.types import Hit
+from repro.errors import ReproError
+from repro.io.database import SequenceDatabase
+from repro.io.fasta import (
+    FastaError,
+    FastaRecord,
+    parse_fasta,
+    parse_fasta_file,
+    write_fasta,
+)
+
+
+class TestParseFasta:
+    def test_single_record(self):
+        records = parse_fasta(">seq1 description\nACGT\nACGT\n")
+        assert len(records) == 1
+        assert records[0].header == "seq1 description"
+        assert records[0].identifier == "seq1"
+        assert records[0].sequence == "ACGTACGT"
+
+    def test_multiple_records(self):
+        text = ">a\nAC\nGT\n>b\nTTTT\n"
+        records = parse_fasta(text)
+        assert [r.identifier for r in records] == ["a", "b"]
+        assert records[1].sequence == "TTTT"
+
+    def test_lowercase_normalised(self):
+        assert parse_fasta(">x\nacgt\n")[0].sequence == "ACGT"
+
+    def test_comments_and_blanks_ignored(self):
+        text = "; comment\n>x\n\nAC\n; mid comment\nGT\n"
+        assert parse_fasta(text)[0].sequence == "ACGT"
+
+    def test_data_before_header_rejected(self):
+        with pytest.raises(FastaError):
+            parse_fasta("ACGT\n>x\nAC\n")
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(FastaError):
+            parse_fasta("")
+
+
+class TestRoundTrip:
+    def test_write_and_parse(self, tmp_path):
+        records = [
+            FastaRecord("alpha test", "ACGT" * 40),
+            FastaRecord("beta", "TTTTT"),
+        ]
+        path = tmp_path / "db.fa"
+        write_fasta(records, path, width=30)
+        loaded = parse_fasta_file(path)
+        assert loaded == records
+
+    def test_line_wrapping(self, tmp_path):
+        path = tmp_path / "w.fa"
+        write_fasta([FastaRecord("x", "A" * 100)], path, width=25)
+        lines = path.read_text().splitlines()
+        assert lines[0] == ">x"
+        assert all(len(line) == 25 for line in lines[1:])
+
+    def test_invalid_width(self, tmp_path):
+        with pytest.raises(FastaError):
+            write_fasta([FastaRecord("x", "A")], tmp_path / "x.fa", width=0)
+
+
+class TestSequenceDatabase:
+    def _db(self):
+        return SequenceDatabase(
+            [
+                FastaRecord("s1", "AAAA"),
+                FastaRecord("s2", "CCCCCC"),
+                FastaRecord("s3", "GG"),
+            ]
+        )
+
+    def test_concatenation(self):
+        db = self._db()
+        assert db.text == "AAAACCCCCCGG"
+        assert db.total_length == 12
+        assert len(db) == 3
+
+    def test_sequence_at(self):
+        db = self._db()
+        assert db.sequence_at(1) == 0
+        assert db.sequence_at(4) == 0
+        assert db.sequence_at(5) == 1
+        assert db.sequence_at(10) == 1
+        assert db.sequence_at(11) == 2
+        assert db.sequence_at(12) == 2
+
+    def test_sequence_at_out_of_range(self):
+        with pytest.raises(ReproError):
+            self._db().sequence_at(0)
+        with pytest.raises(ReproError):
+            self._db().sequence_at(13)
+
+    def test_locate_hit_local_positions(self):
+        db = self._db()
+        hit = Hit(t_end=8, p_end=3, score=4, t_start=6)
+        located = db.locate_hit(hit)
+        assert located.sequence_id == "s2"
+        assert (located.t_start, located.t_end) == (2, 4)
+
+    def test_boundary_spanning_hit_dropped(self):
+        db = self._db()
+        hit = Hit(t_end=6, p_end=3, score=4, t_start=3)  # spans s1|s2
+        assert db.locate_hit(hit) is None
+        assert db.locate_hits([hit]) == []
+
+    def test_empty_database_rejected(self):
+        with pytest.raises(ReproError):
+            SequenceDatabase([])
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ReproError):
+            SequenceDatabase([FastaRecord("x", "")])

@@ -1,0 +1,64 @@
+"""Query q-gram inverted lists and text k-mer hash index."""
+
+import pytest
+
+from repro.index.kmer_index import KmerIndex
+from repro.index.qgram import QGramIndex
+
+
+class TestQGramIndex:
+    def test_positions_sorted_1based(self):
+        idx = QGramIndex("GCTAGCTA", 4)
+        assert idx.positions("GCTA") == [1, 5]
+        assert idx.positions("CTAG") == [2]
+
+    def test_absent_gram(self):
+        idx = QGramIndex("GCTAGCTA", 4)
+        assert idx.positions("AAAA") == []
+        assert "AAAA" not in idx
+
+    def test_number_of_windows(self):
+        query = "ACGTACGTAC"
+        idx = QGramIndex(query, 3)
+        total = sum(len(idx.positions(g)) for g in idx.grams())
+        assert total == len(query) - 3 + 1
+
+    def test_query_shorter_than_q(self):
+        idx = QGramIndex("AC", 4)
+        assert len(idx) == 0
+
+    def test_q_one(self):
+        idx = QGramIndex("AABA".replace("B", "C"), 1)
+        assert idx.positions("A") == [1, 2, 4]
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            QGramIndex("ACGT", 0)
+
+    def test_grams_distinct(self):
+        idx = QGramIndex("AAAAAA", 2)
+        assert idx.grams() == ["AA"]
+        assert idx.positions("AA") == [1, 2, 3, 4, 5]
+
+
+class TestKmerIndex:
+    def test_positions(self):
+        idx = KmerIndex("GCTAGCTA", 4)
+        assert idx.positions("GCTA").tolist() == [1, 5]
+
+    def test_absent(self):
+        idx = KmerIndex("GCTAGCTA", 4)
+        assert idx.positions("TTTT").size == 0
+        assert "TTTT" not in idx
+
+    def test_len_counts_distinct(self):
+        idx = KmerIndex("AAAA", 2)
+        assert len(idx) == 1
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KmerIndex("ACGT", 0)
+
+    def test_text_shorter_than_k(self):
+        idx = KmerIndex("AC", 4)
+        assert len(idx) == 0

@@ -1,0 +1,111 @@
+"""Score reuse (Sec. 4): frontier memoisation correctness and accounting."""
+
+import numpy as np
+import pytest
+
+from repro import ALAE, DEFAULT_SCHEME, smith_waterman_all_hits
+from repro.align.recurrences import NEG, CostCounter, advance_row
+from repro.core.reuse import ReuseEngine, frontier_reuse_key
+
+
+class TestReuseKey:
+    def test_shifted_frontiers_same_key(self):
+        query = "GCTAGCTAGCTAGCTA"  # (GCTA)^4 — suffixes repeat
+        fr1 = {4: (8, NEG), 5: (3, NEG)}
+        fr2 = {8: (8, NEG), 9: (3, NEG)}
+        k1 = frontier_reuse_key(fr1, query, len(query), DEFAULT_SCHEME)
+        k2 = frontier_reuse_key(fr2, query, len(query), DEFAULT_SCHEME)
+        assert k1 == k2
+
+    def test_different_scores_different_key(self):
+        query = "GCTAGCTAGCTAGCTA"
+        fr1 = {4: (8, NEG)}
+        fr2 = {8: (9, NEG)}
+        assert frontier_reuse_key(
+            fr1, query, len(query), DEFAULT_SCHEME
+        ) != frontier_reuse_key(fr2, query, len(query), DEFAULT_SCHEME)
+
+    def test_different_upcoming_chars_different_key(self):
+        query = "GCTAACTA"  # suffix after col 4 is A..., after col 8 none
+        fr1 = {2: (8, NEG)}
+        fr2 = {6: (8, NEG)}
+        # P[3] = 'T', P[7] = 'T' equal here; craft a differing case:
+        query2 = "GCTAGATA"
+        k1 = frontier_reuse_key(fr1, query2, len(query2), DEFAULT_SCHEME)
+        k2 = frontier_reuse_key(fr2, query2, len(query2), DEFAULT_SCHEME)
+        assert k1 != k2  # upcoming chars T vs T? positions 3 vs 7: T vs T...
+        # (keys also encode relative columns, so equality only holds when the
+        # full window matches; this asserts the conservative direction)
+
+    def test_edge_distance_in_key_near_query_end(self):
+        query = "GCTAGCTA"
+        fr_far = {2: (30, NEG)}
+        fr_near = {6: (30, NEG)}
+        k_far = frontier_reuse_key(fr_far, query, len(query), DEFAULT_SCHEME)
+        k_near = frontier_reuse_key(fr_near, query, len(query), DEFAULT_SCHEME)
+        # A score of 30 can reach past column 8 from either start, so the
+        # edge distances (6 vs 2) must differ and so must the keys.
+        assert k_far != k_near
+
+
+class TestReuseEngineEquivalence:
+    def _advance_all(self, frontiers, char, query, enabled):
+        engine = ReuseEngine(enabled=enabled)
+        counter = CostCounter()
+        out = engine.advance_forks(
+            list(frontiers), char, query, len(query), DEFAULT_SCHEME, 0, counter
+        )
+        return out, engine
+
+    def test_memo_matches_direct(self):
+        query = "GCTAGCTAGCTAGCTAGG"
+        # Two identical forks shifted by the repeat period, one different.
+        frontiers = [
+            {4: (10, NEG), 5: (4, NEG)},
+            {8: (10, NEG), 9: (4, NEG)},
+            {3: (6, NEG)},
+        ]
+        with_memo, engine = self._advance_all(frontiers, "G", query, True)
+        without, _ = self._advance_all(frontiers, "G", query, False)
+        assert with_memo == without
+        assert engine.memo_hits == 1
+        assert engine.reused_cells == len(with_memo[1])
+
+    def test_disabled_engine_never_reuses(self):
+        query = "GCTAGCTA"
+        frontiers = [{2: (10, NEG)}, {6: (10, NEG)}]
+        _out, engine = self._advance_all(frontiers, "G", query, False)
+        assert engine.reused_cells == 0
+        assert engine.memo_hits == 0
+
+    def test_dead_fork_passthrough(self):
+        out, _ = self._advance_all([{}, {2: (5, NEG)}], "G", "GCTAGCTA", True)
+        assert out[0] == {}
+
+    def test_search_results_identical_with_and_without_reuse(self):
+        rng = np.random.default_rng(8)
+        # Tandem query maximizes duplicate forks.
+        text = "".join("ACGT"[int(c)] for c in rng.integers(0, 4, 300))
+        query = ("GCTA" * 6) + text[40:60] + ("GCTA" * 6)
+        sw = smith_waterman_all_hits(text, query, DEFAULT_SCHEME, 6)
+        with_r = ALAE(text, use_reuse=True).search(query, threshold=6)
+        without = ALAE(text, use_reuse=False).search(query, threshold=6)
+        assert with_r.hits.as_score_set() == sw.as_score_set()
+        assert without.hits.as_score_set() == sw.as_score_set()
+
+    def test_repetitive_query_reuses_entries(self):
+        # Query made of one repeated unit against a text containing the unit:
+        # forks at every period are identical -> reuse must trigger.
+        unit = "GCATTCGA"
+        text = ("AACGTTGCA" * 10) + unit * 3 + ("TTGACGGAT" * 10)
+        query = unit * 8
+        res = ALAE(text, use_reuse=True).search(query, threshold=10)
+        assert res.stats.reused > 0
+        assert res.stats.reusing_ratio > 0
+
+    def test_reusing_ratio_bounds(self):
+        text = "GCTA" * 40
+        query = "GCTA" * 10
+        res = ALAE(text, use_reuse=True).search(query, threshold=8)
+        assert 0.0 <= res.stats.reusing_ratio < 1.0
+        assert res.stats.accessed == res.stats.calculated + res.stats.reused

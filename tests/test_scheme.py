@@ -1,0 +1,150 @@
+"""Scoring scheme invariants: q (Eq. 2), Theorem 1 bounds, validation."""
+
+import pytest
+
+from repro import DEFAULT_SCHEME, ScoringScheme
+from repro.errors import ScoringError
+from repro.scoring.scheme import (
+    BLAST_DNA_SCHEMES,
+    BLAST_PROTEIN_SCHEMES,
+    blast_scheme_grid,
+)
+
+
+class TestValidation:
+    def test_default_scheme_values(self):
+        assert DEFAULT_SCHEME.as_tuple() == (1, -3, -5, -2)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [(0, -3, -5, -2), (-1, -3, -5, -2), (1, 0, -5, -2), (1, 3, -5, -2),
+         (1, -3, 0, -2), (1, -3, 5, -2), (1, -3, -5, 0), (1, -3, -5, 2)],
+    )
+    def test_sign_constraints(self, bad):
+        with pytest.raises(ScoringError):
+            ScoringScheme(*bad)
+
+    def test_str(self):
+        assert str(DEFAULT_SCHEME) == "<1,-3,-5,-2>"
+
+
+class TestDelta:
+    def test_match(self):
+        assert DEFAULT_SCHEME.delta("A", "A") == 1
+
+    def test_mismatch(self):
+        assert DEFAULT_SCHEME.delta("A", "C") == -3
+
+    def test_gap_cost(self):
+        # Paper Sec. 2.1: gap of r characters costs sg + r * ss.
+        assert DEFAULT_SCHEME.gap_cost(1) == -7
+        assert DEFAULT_SCHEME.gap_cost(3) == -11
+
+    def test_gap_cost_zero_rejected(self):
+        with pytest.raises(ScoringError):
+            DEFAULT_SCHEME.gap_cost(0)
+
+    def test_gap_open_extend(self):
+        assert DEFAULT_SCHEME.gap_open_extend == -7
+
+
+class TestQPrefix:
+    def test_default_q_is_4(self):
+        # q = floor(min(3, 7) / 1) + 1 = 4 (used in the paper's examples).
+        assert DEFAULT_SCHEME.q == 4
+
+    def test_q_small_mismatch(self):
+        assert ScoringScheme(1, -1, -5, -2).q == 2
+
+    def test_q_limited_by_gap(self):
+        # |sg + ss| = 4 < |sb| = 6 -> q = 4/1 + 1 = 5
+        assert ScoringScheme(1, -6, -2, -2).q == 5
+
+    def test_q_scales_with_sa(self):
+        # q = floor(min(3, 14) / 2) + 1 = 2
+        assert ScoringScheme(2, -3, -10, -4).q == 2
+
+    def test_paper_example_q4(self):
+        # Sec. 3.1.3: "we could not find an exact match of X[1, q] in P,
+        # where q = 4" under the default scheme.
+        assert ScoringScheme(1, -3, -5, -2).q == 4
+
+
+class TestTheorem1:
+    def test_lmax_formula(self):
+        # Lmax = max(m, m + floor((H - (sa*m + sg)) / ss))
+        scheme = DEFAULT_SCHEME
+        m, h = 5, 3
+        # floor((3 - (5 - 5)) / -2) = floor(-1.5) = -2 -> max(5, 3) = 5
+        assert scheme.max_alignment_length(m, h) == 5
+
+    def test_lmax_longer_than_m(self):
+        scheme = DEFAULT_SCHEME
+        m, h = 100, 20
+        lmax = scheme.max_alignment_length(m, h)
+        assert lmax == max(m, m + (h - (m * 1 - 5)) // -2)
+        assert lmax > m
+
+    def test_min_row(self):
+        assert DEFAULT_SCHEME.min_alignment_length(3) == 3
+        assert ScoringScheme(2, -3, -5, -2).min_alignment_length(3) == 2
+
+    def test_min_row_at_least_one(self):
+        assert DEFAULT_SCHEME.min_alignment_length(0) == 1
+
+    def test_length_bounds_ordering(self):
+        lo, hi = DEFAULT_SCHEME.length_bounds(50, 10)
+        assert 1 <= lo <= hi
+
+    def test_paper_example_bounds(self):
+        # Sec. 3.1.1 example: P = GCTAC (m = 5), H = 3.  The paper's prose
+        # says "length in between 3 and 4", but Eq. 1's own upper bound is
+        # max(m, m + floor((H - (sa*m + sg)) / ss)) = max(5, 3) = 5 — and a
+        # length-5 all-match alignment (score 5 >= 3) is indeed valid, so we
+        # follow Eq. 1 (the prose example appears to be an erratum).
+        scheme = DEFAULT_SCHEME
+        lo = scheme.min_alignment_length(3)
+        hi = scheme.max_alignment_length(5, 3)
+        assert (lo, hi) == (3, 5)
+
+    def test_invalid_m(self):
+        with pytest.raises(ScoringError):
+            DEFAULT_SCHEME.max_alignment_length(0, 3)
+
+
+class TestTheorem2:
+    def test_dead_threshold_floor_zero(self):
+        assert DEFAULT_SCHEME.dead_threshold(1, 1, 100, 10, 120) == 0
+
+    def test_dead_threshold_near_query_end(self):
+        # Close to the last column the remaining budget shrinks.
+        val = DEFAULT_SCHEME.dead_threshold(5, 99, 100, 10, 120)
+        assert val == 10 - 1 * 1 - 1 == 8
+
+    def test_dead_threshold_near_lmax(self):
+        val = DEFAULT_SCHEME.dead_threshold(119, 5, 100, 10, 120)
+        assert val == 10 - 1 - 1
+
+
+class TestMisc:
+    def test_fgoe_bound(self):
+        assert DEFAULT_SCHEME.fgoe_bound == 7
+
+    def test_supports_bwt_sw(self):
+        assert DEFAULT_SCHEME.supports_bwt_sw()
+        assert not ScoringScheme(1, -1, -5, -2).supports_bwt_sw()
+        assert not ScoringScheme(2, -3, -5, -2).supports_bwt_sw()
+
+    def test_blast_grid_size(self):
+        grid = blast_scheme_grid()
+        assert len(grid) == 6 * 8
+        assert all(isinstance(s, ScoringScheme) for s in grid)
+
+    def test_named_schemes_parse(self):
+        for name, scheme in BLAST_DNA_SCHEMES.items():
+            assert str(scheme) == name
+        for name, scheme in BLAST_PROTEIN_SCHEMES.items():
+            assert str(scheme) == name
+
+    def test_schemes_hashable(self):
+        assert len({DEFAULT_SCHEME, ScoringScheme(1, -3, -5, -2)}) == 1

@@ -1,0 +1,179 @@
+"""Smith-Waterman oracle: vectorised sweep vs dense reference DP, traceback."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import DEFAULT_SCHEME, ScoringScheme
+from repro.align.smith_waterman import (
+    align_pair,
+    smith_waterman_all_hits,
+    smith_waterman_best,
+)
+
+NEG = -(10**9)
+
+
+def dense_reference(text, query, scheme):
+    """Textbook three-matrix affine local DP (slow, trusted)."""
+    n, m = len(text), len(query)
+    sa, sb, ss, go = scheme.sa, scheme.sb, scheme.ss, scheme.sg + scheme.ss
+    h = [[0] * (n + 1) for _ in range(m + 1)]
+    e = [[NEG] * (n + 1) for _ in range(m + 1)]
+    f = [[NEG] * (n + 1) for _ in range(m + 1)]
+    for i in range(1, m + 1):
+        for j in range(1, n + 1):
+            f[i][j] = max(f[i - 1][j] + ss, h[i - 1][j] + go)
+            e[i][j] = max(e[i][j - 1] + ss, h[i][j - 1] + go)
+            d = h[i - 1][j - 1] + (sa if query[i - 1] == text[j - 1] else sb)
+            h[i][j] = max(0, d, e[i][j], f[i][j])
+    return h
+
+
+def reference_hits(text, query, scheme, threshold):
+    h = dense_reference(text, query, scheme)
+    return {
+        (j, i, h[i][j])
+        for i in range(1, len(query) + 1)
+        for j in range(1, len(text) + 1)
+        if h[i][j] >= threshold
+    }
+
+
+class TestVectorisedSweep:
+    def test_paper_example_cells(self):
+        # Fig. 1: aligning X = GCTA against P = GCTAG; the diagonal carries
+        # scores 1..4 and M_X(4, 5) (after the mismatch path) is negative.
+        hits = smith_waterman_all_hits("GCTA", "GCTAG", DEFAULT_SCHEME, 1)
+        scores = {(h.t_end, h.p_end): h.score for h in hits}
+        assert scores[(1, 1)] == 1
+        assert scores[(2, 2)] == 2
+        assert scores[(3, 3)] == 3
+        assert scores[(4, 4)] == 4
+
+    def test_vs_reference_random(self, rng):
+        for trial in range(25):
+            n = int(rng.integers(5, 60))
+            m = int(rng.integers(2, 30))
+            k = 2 if trial % 2 else 4
+            text = "".join("ACGT"[int(c)] for c in rng.integers(0, k, n))
+            query = "".join("ACGT"[int(c)] for c in rng.integers(0, k, m))
+            scheme = [
+                DEFAULT_SCHEME,
+                ScoringScheme(1, -1, -5, -2),
+                ScoringScheme(2, -3, -2, -2),
+            ][trial % 3]
+            for threshold in (1, 3, 6):
+                got = smith_waterman_all_hits(
+                    text, query, scheme, threshold
+                ).as_score_set()
+                assert got == reference_hits(text, query, scheme, threshold)
+
+    def test_empty_inputs(self):
+        assert len(smith_waterman_all_hits("", "A", DEFAULT_SCHEME, 1)) == 0
+        assert len(smith_waterman_all_hits("A", "", DEFAULT_SCHEME, 1)) == 0
+
+    def test_no_hits_below_threshold(self):
+        res = smith_waterman_all_hits("AAAA", "CCCC", DEFAULT_SCHEME, 1)
+        assert len(res) == 0
+
+    def test_long_gap_bridged(self):
+        # Two 12-match blocks separated by a text-side insertion of 2 chars:
+        # the bridged path scores 24 + (sg + 2*ss) = 15, beating the
+        # suffix-block-only alignment (12), so the corner cell must be 15.
+        block1, block2 = "ACGTCAACGTCA", "TGCATCTGCATC"
+        text = block1 + "GG" + block2
+        query = block1 + block2
+        res = smith_waterman_all_hits(text, query, DEFAULT_SCHEME, 3)
+        assert res.score_of(len(text), len(query)) == 24 - (5 + 2 * 2)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.text(alphabet="AC", min_size=1, max_size=40),
+        st.text(alphabet="AC", min_size=1, max_size=15),
+        st.integers(1, 8),
+    )
+    def test_property_vs_reference(self, text, query, threshold):
+        got = smith_waterman_all_hits(
+            text, query, DEFAULT_SCHEME, threshold
+        ).as_score_set()
+        assert got == reference_hits(text, query, DEFAULT_SCHEME, threshold)
+
+
+class TestBest:
+    def test_paper_similarity_example(self):
+        # Sec. 2.1: sim(AAACG, AACCG) = 1*4 - 3 = 1 ... as a *global* value;
+        # locally the best is the common prefix AA + suffix CG handling.
+        # Check via reference instead of the paper's global number.
+        best = smith_waterman_best("AAACG", "AACCG", DEFAULT_SCHEME)
+        h = dense_reference("AAACG", "AACCG", DEFAULT_SCHEME)
+        assert best == max(max(row) for row in h)
+
+    def test_perfect_match(self):
+        assert smith_waterman_best("ACGT", "ACGT", DEFAULT_SCHEME) == 4
+
+    def test_empty(self):
+        assert smith_waterman_best("", "ACGT", DEFAULT_SCHEME) == 0
+
+
+class TestAlignPair:
+    def test_identical(self):
+        aln = align_pair("GATTACA", "GATTACA", DEFAULT_SCHEME)
+        assert aln.score == 7
+        assert aln.ops == "M" * 7
+        assert aln.identity() == 1.0
+
+    def test_substitution(self):
+        aln = align_pair("AAAAATAAAAA", "AAAAACAAAAA", DEFAULT_SCHEME)
+        assert aln.score == 10 - 3
+        assert aln.ops.count("X") == 1
+
+    def test_gap(self):
+        aln = align_pair("AACGTACGTA" + "AACGTACGTA", "AACGTACGTAAACGTTACGTA".replace("TT", "TT"), DEFAULT_SCHEME)
+        assert aln.score >= 10
+
+    def test_score_matches_best(self, rng):
+        for _ in range(10):
+            s1 = "".join("ACGT"[int(c)] for c in rng.integers(0, 2, 30))
+            s2 = "".join("ACGT"[int(c)] for c in rng.integers(0, 2, 20))
+            aln = align_pair(s1, s2, DEFAULT_SCHEME)
+            assert aln.score == smith_waterman_best(s1, s2, DEFAULT_SCHEME)
+
+    def test_ops_rescore(self, rng):
+        # Replaying the ops over the aligned windows reproduces the score.
+        for _ in range(10):
+            s1 = "".join("ACGT"[int(c)] for c in rng.integers(0, 2, 40))
+            s2 = "".join("ACGT"[int(c)] for c in rng.integers(0, 2, 25))
+            aln = align_pair(s1, s2, DEFAULT_SCHEME)
+            if aln.score == 0:
+                continue
+            i, j, score = aln.s1_start - 1, aln.s2_start - 1, 0
+            k = 0
+            ops = aln.ops
+            scheme = DEFAULT_SCHEME
+            while k < len(ops):
+                op = ops[k]
+                if op in "MX":
+                    score += scheme.sa if s1[i] == s2[j] else scheme.sb
+                    i += 1
+                    j += 1
+                    k += 1
+                else:
+                    run = 0
+                    kind = op
+                    while k < len(ops) and ops[k] == kind:
+                        run += 1
+                        k += 1
+                    score += scheme.sg + run * scheme.ss
+                    if kind == "D":
+                        i += run
+                    else:
+                        j += run
+            assert i == aln.s1_end and j == aln.s2_end
+            assert score == aln.score
+
+    def test_no_alignment(self):
+        aln = align_pair("AAAA", "CCCC", DEFAULT_SCHEME)
+        assert aln.score == 0
+        assert aln.ops == ""

@@ -1,0 +1,105 @@
+"""Suffix array construction vs the naive oracle, plus BWT round-trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import DNA
+from repro.errors import IndexError_
+from repro.index.bwt import bwt_from_suffix_array, bwt_inverse, bwt_transform
+from repro.index.suffix_array import suffix_array, suffix_array_naive
+
+
+def codes_of(text: str) -> np.ndarray:
+    return DNA.encode(text).astype(np.int64) + 1
+
+
+class TestSuffixArray:
+    def test_paper_example(self):
+        # Sec. 2.3: SA of GCTAGC$ is {7, 4, 6, 2, 5, 1, 3} (1-based);
+        # 0-based that is [6, 3, 5, 1, 4, 0, 2].
+        sa = suffix_array(codes_of("GCTAGC"))
+        assert sa.tolist() == [6, 3, 5, 1, 4, 0, 2]
+
+    def test_empty_text(self):
+        sa = suffix_array(np.array([], dtype=np.int64))
+        assert sa.tolist() == [0]
+
+    def test_single_char(self):
+        sa = suffix_array(np.array([1]))
+        assert sa.tolist() == [1, 0]
+
+    def test_repetitive(self):
+        text = "A" * 50
+        sa = suffix_array(codes_of(text))
+        # Suffixes of A^n sort by decreasing start position (shorter first).
+        assert sa.tolist() == list(range(50, -1, -1))
+
+    def test_matches_naive_random(self, rng):
+        for _ in range(20):
+            n = int(rng.integers(1, 120))
+            codes = rng.integers(1, 5, n)
+            assert suffix_array(codes).tolist() == suffix_array_naive(codes).tolist()
+
+    def test_sentinel_first(self, rng):
+        codes = rng.integers(1, 5, 64)
+        sa = suffix_array(codes)
+        assert sa[0] == 64  # the sentinel suffix is smallest
+
+    def test_is_permutation(self, rng):
+        codes = rng.integers(1, 5, 200)
+        sa = suffix_array(codes)
+        assert sorted(sa.tolist()) == list(range(201))
+
+    def test_rejects_zero_codes(self):
+        with pytest.raises(IndexError_):
+            suffix_array(np.array([0, 1, 2]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(IndexError_):
+            suffix_array(np.zeros((2, 2), dtype=np.int64))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.text(alphabet="ACGT", min_size=1, max_size=60))
+    def test_property_sorted_suffixes(self, text):
+        sa = suffix_array(codes_of(text))
+        padded = text + "$"
+        suffixes = [padded[i:] for i in sa]
+        # '$' sorts below every alphabet character in ASCII, matching code 0.
+        assert suffixes == sorted(suffixes)
+
+
+class TestBWT:
+    def test_paper_example(self):
+        # Sec. 2.3: BWT of GCTAGC$ is CTGGA$C.
+        bwt, _sa = bwt_transform(codes_of("GCTAGC"))
+        decoded = "".join("$" if c == 0 else DNA.chars[c - 1] for c in bwt)
+        assert decoded == "CTGGA$C"
+
+    def test_roundtrip_random(self, rng):
+        for _ in range(15):
+            codes = rng.integers(1, 5, int(rng.integers(1, 150)))
+            bwt, _ = bwt_transform(codes)
+            assert bwt_inverse(bwt).tolist() == codes.tolist()
+
+    def test_one_sentinel(self, rng):
+        codes = rng.integers(1, 5, 80)
+        bwt, _ = bwt_transform(codes)
+        assert int(np.count_nonzero(bwt == 0)) == 1
+
+    def test_bwt_is_permutation_of_text(self, rng):
+        codes = rng.integers(1, 5, 80)
+        bwt, _ = bwt_transform(codes)
+        assert sorted(bwt.tolist()) == sorted(codes.tolist() + [0])
+
+    def test_from_sa_size_mismatch(self):
+        with pytest.raises(IndexError_):
+            bwt_from_suffix_array(np.array([1, 2]), np.array([0, 1]))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.text(alphabet="ACGT", min_size=1, max_size=80))
+    def test_property_roundtrip(self, text):
+        codes = codes_of(text)
+        bwt, _ = bwt_transform(codes)
+        assert bwt_inverse(bwt).tolist() == codes.tolist()

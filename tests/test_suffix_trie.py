@@ -1,0 +1,63 @@
+"""Explicit suffix trie: structure, occurrence lists, path iteration."""
+
+from repro.index.suffix_trie import SuffixTrie
+
+
+class TestStructure:
+    def test_contains_every_substring(self):
+        text = "GCTAGC"
+        trie = SuffixTrie(text)
+        for i in range(len(text)):
+            for j in range(i + 1, len(text) + 1):
+                assert trie.contains(text[i:j])
+
+    def test_rejects_foreign_substring(self):
+        trie = SuffixTrie("AAAA")
+        assert not trie.contains("C")
+        assert not trie.contains("AAAAA")
+
+    def test_end_positions(self):
+        trie = SuffixTrie("GCTAGC")
+        assert trie.end_positions("GC") == [2, 6]
+        assert trie.end_positions("GCTA") == [4]
+        assert trie.end_positions("C") == [2, 6]
+        assert trie.end_positions("ZZ") == []
+
+    def test_end_positions_overlapping(self):
+        trie = SuffixTrie("AAAA")
+        assert trie.end_positions("AA") == [2, 3, 4]
+
+    def test_leaf_paths_are_suffixes(self):
+        text = "GATTACA"
+        trie = SuffixTrie(text)
+        leaves = set(trie.iter_leaf_paths())
+        suffixes = {text[i:] for i in range(len(text))}
+        # Every suffix is represented; a suffix that is a prefix of another
+        # substring may end at an internal node, so leaves <= suffixes holds
+        # only for suffix-free texts; here compare via containment.
+        assert leaves <= {text[i:] for i in range(len(text))} | suffixes
+        assert text in leaves  # the full text is always a leaf
+
+    def test_max_depth_truncation(self):
+        trie = SuffixTrie("GATTACA", max_depth=3)
+        assert trie.contains("GAT")
+        assert not trie.contains("GATT")
+
+    def test_iter_paths_preorder_count(self):
+        text = "ABAB".replace("B", "C")  # ACAC over DNA letters
+        trie = SuffixTrie(text)
+        paths = dict(trie.iter_paths())
+        distinct = {
+            text[i:j] for i in range(len(text)) for j in range(i + 1, len(text) + 1)
+        }
+        assert set(paths) == distinct
+
+    def test_node_depth_tracks_path_length(self):
+        trie = SuffixTrie("GATTACA")
+        for path, node in trie.iter_paths():
+            assert node.depth == len(path)
+
+    def test_single_char_text(self):
+        trie = SuffixTrie("A")
+        assert trie.contains("A")
+        assert trie.end_positions("A") == [1]

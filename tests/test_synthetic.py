@@ -1,0 +1,123 @@
+"""Synthetic data generators and workload construction."""
+
+import numpy as np
+import pytest
+
+from repro import DNA, PROTEIN, genome, mutate, sample_homologous_queries
+from repro.data.synthetic import random_sequence
+from repro.errors import ReproError
+from repro.workloads import make_workload
+
+
+class TestRandomSequence:
+    def test_length_and_alphabet(self, rng):
+        seq = random_sequence(1000, DNA, rng)
+        assert len(seq) == 1000
+        assert set(seq) <= set(DNA.chars)
+
+
+class TestMutate:
+    def test_zero_rates_identity(self, rng):
+        seq = random_sequence(200, DNA, rng)
+        assert mutate(seq, rng, sub_rate=0.0, indel_rate=0.0) == seq
+
+    def test_substitutions_change_characters(self, rng):
+        seq = "A" * 500
+        out = mutate(seq, rng, sub_rate=0.2, indel_rate=0.0)
+        assert len(out) == 500
+        changed = sum(1 for c in out if c != "A")
+        assert 40 <= changed <= 180  # ~20% +- slack
+
+    def test_substitution_never_identical(self, rng):
+        seq = "A" * 300
+        out = mutate(seq, rng, sub_rate=1.0, indel_rate=0.0)
+        assert "A" not in out
+
+    def test_indels_change_length(self, rng):
+        seq = random_sequence(2000, DNA, rng)
+        out = mutate(seq, rng, sub_rate=0.0, indel_rate=0.2)
+        assert len(out) != 2000  # overwhelmingly likely
+
+    def test_invalid_rates(self, rng):
+        with pytest.raises(ReproError):
+            mutate("ACGT", rng, sub_rate=1.5)
+
+    def test_protein_alphabet(self, rng):
+        seq = random_sequence(200, PROTEIN, rng)
+        out = mutate(seq, rng, sub_rate=0.3, alphabet=PROTEIN)
+        assert set(out) <= set(PROTEIN.chars)
+
+
+class TestGenome:
+    def test_length_exact(self, rng):
+        assert len(genome(5_000, rng)) == 5_000
+
+    def test_alphabet(self, rng):
+        assert set(genome(2_000, rng)) <= set(DNA.chars)
+
+    def test_repeats_increase_duplication(self, rng):
+        # A repeat-rich genome shares more 20-mers with itself than a
+        # uniform random sequence of the same length.
+        def duplicated_kmers(text, k=20):
+            seen, dup = set(), 0
+            for i in range(len(text) - k + 1):
+                kmer = text[i : i + k]
+                if kmer in seen:
+                    dup += 1
+                seen.add(kmer)
+            return dup
+
+        rich = genome(20_000, rng, repeat_fraction=0.4, tandem_fraction=0.1)
+        plain = genome(20_000, rng, repeat_fraction=0.0, tandem_fraction=0.0)
+        assert duplicated_kmers(rich) > duplicated_kmers(plain)
+
+    def test_invalid_length(self, rng):
+        with pytest.raises(ReproError):
+            genome(0, rng)
+
+    def test_deterministic_given_seed(self):
+        a = genome(3_000, np.random.default_rng(5))
+        b = genome(3_000, np.random.default_rng(5))
+        assert a == b
+
+
+class TestHomologousQueries:
+    def test_count_and_length(self, rng):
+        text = genome(10_000, rng)
+        queries = sample_homologous_queries(text, 5, 400, rng)
+        assert len(queries) == 5
+        assert all(len(q) == 400 for q in queries)
+
+    def test_queries_contain_homology(self, rng):
+        # A planted segment must share a long exact run with the text.
+        from repro import smith_waterman_best, DEFAULT_SCHEME
+
+        text = genome(10_000, rng, repeat_fraction=0.0)
+        query = sample_homologous_queries(
+            text, 1, 500, rng, sub_rate=0.05, indel_rate=0.0
+        )[0]
+        assert smith_waterman_best(text, query, DEFAULT_SCHEME) >= 40
+
+    def test_query_longer_than_text_rejected(self, rng):
+        with pytest.raises(ReproError):
+            sample_homologous_queries("ACGT", 1, 100, rng)
+
+
+class TestWorkload:
+    def test_cached_identity(self):
+        a = make_workload(2_000, 100)
+        b = make_workload(2_000, 100)
+        assert a is b
+
+    def test_uncached_fresh(self):
+        a = make_workload(2_000, 100, cached=False)
+        b = make_workload(2_000, 100, cached=False)
+        assert a is not b
+        assert a.text == b.text  # same seed -> same content
+
+    def test_properties(self):
+        wl = make_workload(3_000, 150, query_count=4)
+        assert wl.n == 3_000
+        assert wl.m == 150
+        assert len(wl.queries) == 4
+        assert all(len(q) == 150 for q in wl.queries)

@@ -1,0 +1,102 @@
+"""Result accumulator and statistics semantics."""
+
+from repro.align.types import Hit, ResultSet, SearchStats
+
+
+class TestHit:
+    def test_key(self):
+        assert Hit(t_end=5, p_end=3, score=7).key() == (5, 3)
+
+    def test_ordering(self):
+        a = Hit(t_end=1, p_end=1, score=5)
+        b = Hit(t_end=2, p_end=1, score=3)
+        assert a < b
+
+    def test_frozen(self):
+        hit = Hit(t_end=1, p_end=1, score=5)
+        try:
+            hit.score = 9
+            assert False, "Hit must be immutable"
+        except AttributeError:
+            pass
+
+
+class TestResultSet:
+    def test_max_dedup(self):
+        rs = ResultSet()
+        rs.add(5, 3, 7, t_start=2)
+        rs.add(5, 3, 9, t_start=1)
+        rs.add(5, 3, 4, t_start=4)
+        assert rs.score_of(5, 3) == 9
+        assert len(rs) == 1
+
+    def test_tie_prefers_earlier_start(self):
+        rs = ResultSet()
+        rs.add(5, 3, 7, t_start=4)
+        rs.add(5, 3, 7, t_start=2)
+        rs.add(5, 3, 7, t_start=6)
+        hit = rs.hits()[0]
+        assert hit.t_start == 2
+
+    def test_hits_sorted(self):
+        rs = ResultSet()
+        rs.add(9, 1, 3)
+        rs.add(1, 5, 4)
+        rs.add(1, 2, 5)
+        keys = [h.key() for h in rs.hits()]
+        assert keys == sorted(keys)
+
+    def test_merge(self):
+        a, b = ResultSet(), ResultSet()
+        a.add(1, 1, 5)
+        b.add(1, 1, 8)
+        b.add(2, 2, 3)
+        a.merge(b)
+        assert a.score_of(1, 1) == 8
+        assert len(a) == 2
+
+    def test_best(self):
+        rs = ResultSet()
+        assert rs.best() is None
+        rs.add(1, 1, 5)
+        rs.add(2, 2, 9)
+        assert rs.best().score == 9
+
+    def test_contains(self):
+        rs = ResultSet()
+        rs.add(3, 4, 2)
+        assert (3, 4) in rs
+        assert (4, 3) not in rs
+
+    def test_as_score_set(self):
+        rs = ResultSet()
+        rs.add(1, 2, 3, t_start=1)
+        rs.add(1, 2, 5, t_start=7)
+        assert rs.as_score_set() == {(1, 2, 5)}
+
+    def test_iter_yields_hits(self):
+        rs = ResultSet()
+        rs.add(1, 2, 3)
+        assert [h.score for h in rs] == [3]
+
+
+class TestSearchStats:
+    def test_totals(self):
+        st = SearchStats(calculated_x1=10, calculated_x2=5, calculated_x3=2)
+        assert st.calculated == 17
+        assert st.computation_cost == 10 + 10 + 6
+
+    def test_accessed_and_reusing_ratio(self):
+        st = SearchStats(calculated_x1=30, reused=10)
+        assert st.accessed == 40
+        assert st.reusing_ratio == 0.25
+
+    def test_reusing_ratio_empty(self):
+        assert SearchStats().reusing_ratio == 0.0
+
+    def test_filtering_ratio(self):
+        st = SearchStats(calculated_x1=30)
+        assert st.filtering_ratio(100) == 0.7
+        assert st.filtering_ratio(0) == 0.0
+        # ALAE never filters negatively: clamp at 0.
+        assert st.filtering_ratio(10) == 0.0
