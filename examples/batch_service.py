@@ -1,0 +1,62 @@
+"""Batch serving end-to-end: one shared engine, many queries, attributed hits.
+
+Builds a small multi-chromosome database, stands up a
+:class:`repro.service.SearchService`, and runs a mixed batch: homologous
+queries, an exact fragment, and a query that only matches *across* the
+chr1|chr2 concatenation boundary (reported as dropped, never as a hit).
+
+Run:  python examples/batch_service.py
+"""
+
+import numpy as np
+
+from repro import SearchService, genome
+from repro.io.fasta import FastaRecord
+from repro.service import Query
+
+
+def main() -> None:
+    rng = np.random.default_rng(5)
+    records = [
+        FastaRecord(header=f"chr{i}", sequence=genome(6_000, rng))
+        for i in range(1, 4)
+    ]
+    service = SearchService(records, workers=2)
+    text = service.database.text
+    chr2 = records[1].sequence
+
+    batch = [
+        Query("exact", chr2[1_000:1_080]),
+        Query("deletion", chr2[2_000:2_040] + chr2[2_046:2_086]),
+        Query("straddle", text[5_970:6_030]),  # spans the chr1|chr2 boundary
+    ]
+    report = service.search_batch(batch, threshold=40)
+
+    print(
+        f"database: {len(service.database)} sequences, "
+        f"{service.database.total_length:,} chars"
+    )
+    print(
+        f"batch: {len(report.results)} queries in {report.wall_seconds:.3f}s "
+        f"({report.queries_per_second:.1f} q/s, workers={report.workers})"
+    )
+    for result in report.results:
+        best = result.best()
+        where = (
+            f"best {best.score} at {best.sequence_id}:{best.t_start}-{best.t_end}"
+            if best
+            else "no attributable hit"
+        )
+        print(
+            f"  {result.query_id:>9}: {len(result.hits)} hits "
+            f"({result.dropped_boundary} boundary-spanning dropped) — {where}"
+        )
+    stats = report.stats
+    print(
+        f"aggregate: {stats.calculated:,} entries calculated, "
+        f"{stats.reused:,} reused, cost {stats.computation_cost:,}"
+    )
+
+
+if __name__ == "__main__":
+    main()

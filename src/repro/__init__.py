@@ -38,6 +38,7 @@ from repro.scoring import (
     KarlinAltschul,
     ScoringScheme,
 )
+from repro.service import BatchReport, Query, QueryResult, SearchService
 from repro.workloads import Workload, make_workload
 
 __version__ = "1.0.0"
@@ -65,6 +66,10 @@ __all__ = [
     "entry_bound",
     "paper_bound_extremes",
     "SequenceDatabase",
+    "SearchService",
+    "Query",
+    "QueryResult",
+    "BatchReport",
     "parse_fasta",
     "parse_fasta_file",
     "write_fasta",

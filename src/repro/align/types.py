@@ -11,6 +11,7 @@ for equality in tests and benchmarks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 
 @dataclass(frozen=True, order=True)
@@ -143,6 +144,39 @@ class SearchStats:
             return 0.0
         filtered = max(0, baseline_calculated - self.calculated)
         return filtered / baseline_calculated
+
+    def merge(self, other: "SearchStats") -> None:
+        """Fold another search's counters into this one.
+
+        ``elapsed_seconds`` accumulates per-search CPU-ish time, so after a
+        parallel batch it reflects total work, not wall clock (the batch
+        report keeps wall clock separately).  Numeric ``extra`` entries are
+        summed; anything else is last-writer-wins.
+        """
+        self.calculated_x1 += other.calculated_x1
+        self.calculated_x2 += other.calculated_x2
+        self.calculated_x3 += other.calculated_x3
+        self.reused += other.reused
+        self.emr_assigned += other.emr_assigned
+        self.forks_seeded += other.forks_seeded
+        self.forks_skipped_domination += other.forks_skipped_domination
+        self.forks_skipped_global += other.forks_skipped_global
+        self.grams_absent_in_text += other.grams_absent_in_text
+        self.nodes_visited += other.nodes_visited
+        self.elapsed_seconds += other.elapsed_seconds
+        for key, value in other.extra.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                self.extra[key] = self.extra.get(key, 0) + value
+            else:
+                self.extra[key] = value
+
+    @classmethod
+    def aggregate(cls, parts: "Iterable[SearchStats]") -> "SearchStats":
+        """Sum many per-query stats into one batch-level accounting."""
+        total = cls()
+        for part in parts:
+            total.merge(part)
+        return total
 
 
 @dataclass

@@ -3,82 +3,149 @@
 Commands
 --------
 search
-    Align a query (string or FASTA file) against a text (string or FASTA
-    file) with a chosen engine and print the hits.
+    Align queries (literal sequence or FASTA file, possibly multi-record)
+    against a database text (literal or FASTA) and print hits attributed to
+    individual database sequences.
+search-db
+    Batch-search a FASTA query set against a FASTA database, streaming
+    attributed hits as each query completes.
 analyze
     Print the Section 6 entry-bound table for an alphabet size.
 generate
     Emit a synthetic genome as FASTA.
+
+All searches run through :class:`repro.service.SearchService`, so
+multi-record FASTA inputs keep their per-sequence offset table and hits
+spanning a concatenation boundary are dropped instead of reported.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 
 import numpy as np
 
-from repro import (
-    ALAE,
-    DNA,
-    PROTEIN,
-    Blast,
-    BwtSw,
-    ScoringScheme,
-    genome,
-    parse_fasta_file,
-    write_fasta,
-)
+from repro import DNA, PROTEIN, ScoringScheme, genome, write_fasta
+from repro.align.types import SearchStats
 from repro.core.analysis import entry_bound
-from repro.io.fasta import FastaRecord
+from repro.errors import ReproError, ScoringError
+from repro.io.database import SequenceDatabase
+from repro.io.fasta import FastaRecord, parse_fasta_file
 from repro.scoring.scheme import blast_scheme_grid
+from repro.service import SERVICE_ENGINES, SearchService
 
-ENGINES = {"alae": ALAE, "bwtsw": BwtSw, "blast": Blast}
 ALPHABETS = {"dna": DNA, "protein": PROTEIN}
 
 
-def _load_sequence(value: str) -> str:
+def _load_records(value: str, default_id: str) -> list[FastaRecord]:
     """Interpret a CLI argument as a FASTA path or a literal sequence."""
     path = Path(value)
     if path.exists():
-        records = parse_fasta_file(path)
-        return "".join(record.sequence for record in records)
-    return value.upper()
+        return parse_fasta_file(path)
+    return [FastaRecord(header=default_id, sequence=value.upper())]
+
+
+def _load_database(value: str) -> SequenceDatabase:
+    """Load a text argument as a database, keeping the offset table."""
+    return SequenceDatabase(_load_records(value, default_id="text"))
 
 
 def _parse_scheme(value: str) -> ScoringScheme:
-    parts = [int(x) for x in value.strip("<>").split(",")]
+    parts = value.strip("<>").split(",")
     if len(parts) != 4:
         raise argparse.ArgumentTypeError(
             "scheme must be sa,sb,sg,ss (e.g. 1,-3,-5,-2)"
         )
-    return ScoringScheme(*parts)
+    try:
+        sa, sb, sg, ss = (int(x) for x in parts)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"scheme components must be integers, got {value!r}"
+        ) from None
+    try:
+        return ScoringScheme(sa, sb, sg, ss)
+    except ScoringError as exc:
+        raise argparse.ArgumentTypeError(
+            f"scheme {value!r} is invalid: {exc} (e.g. 1,-3,-5,-2)"
+        ) from None
 
 
-def cmd_search(args: argparse.Namespace) -> int:
-    text = _load_sequence(args.text)
-    query = _load_sequence(args.query)
-    alphabet = ALPHABETS[args.alphabet]
-    engine_cls = ENGINES[args.engine]
-    engine = engine_cls(text, alphabet=alphabet, scheme=args.scheme)
+def _make_service(args: argparse.Namespace, database: SequenceDatabase) -> SearchService:
+    return SearchService(
+        database,
+        engine=args.engine,
+        alphabet=ALPHABETS[args.alphabet],
+        scheme=args.scheme,
+        workers=args.workers,
+        executor=args.executor,
+    )
+
+
+def _run_batch(
+    service: SearchService, queries: list[FastaRecord], args: argparse.Namespace
+) -> int:
+    """Stream a batch through the service, printing attributed hits."""
     kwargs = (
         {"threshold": args.threshold}
         if args.threshold is not None
         else {"e_value": args.e_value}
     )
-    result = engine.search(query, **kwargs)
-    print(f"# engine={args.engine} H={result.threshold} hits={len(result.hits)}")
-    print("# t_start\tt_end\tp_end\tscore")
-    for hit in list(result.hits)[: args.limit]:
-        print(f"{hit.t_start}\t{hit.t_end}\t{hit.p_end}\t{hit.score}")
-    stats = result.stats
+    print("# query\tsequence\tt_start\tt_end\tp_end\tscore")
+    total_hits = dropped = count = 0
+    stats = SearchStats()
+    started = time.perf_counter()
+    for result in service.iter_results(queries, **kwargs):
+        count += 1
+        total_hits += len(result.hits)
+        dropped += result.dropped_boundary
+        stats.merge(result.stats)
+        print(
+            f"# query={result.query_id} engine={args.engine} "
+            f"H={result.threshold} hits={len(result.hits)} "
+            f"dropped={result.dropped_boundary}"
+        )
+        for hit in result.hits[: args.limit]:
+            print(
+                f"{result.query_id}\t{hit.sequence_id}\t{hit.t_start}\t"
+                f"{hit.t_end}\t{hit.p_end}\t{hit.score}"
+            )
+    wall = time.perf_counter() - started
     print(
-        f"# entries calculated={stats.calculated} reused={stats.reused} "
-        f"cost={stats.computation_cost} time={stats.elapsed_seconds:.3f}s",
+        f"# queries={count} hits={total_hits} dropped={dropped} "
+        f"entries calculated={stats.calculated} reused={stats.reused} "
+        f"cost={stats.computation_cost} work={stats.elapsed_seconds:.3f}s "
+        f"wall={wall:.3f}s",
         file=sys.stderr,
     )
     return 0
+
+
+def cmd_search(args: argparse.Namespace) -> int:
+    database = _load_database(args.text)
+    queries = _load_records(args.query, default_id="query")
+    service = _make_service(args, database)
+    return _run_batch(service, queries, args)
+
+
+def cmd_search_db(args: argparse.Namespace) -> int:
+    db_path = Path(args.database)
+    query_path = Path(args.queries)
+    for path, label in ((db_path, "database"), (query_path, "queries")):
+        if not path.exists():
+            print(f"error: {label} FASTA {path} does not exist", file=sys.stderr)
+            return 2
+    database = SequenceDatabase.from_fasta(db_path)
+    queries = parse_fasta_file(query_path)
+    service = _make_service(args, database)
+    print(
+        f"# database={db_path.name} sequences={len(database)} "
+        f"total={database.total_length} queries={len(queries)}",
+        file=sys.stderr,
+    )
+    return _run_batch(service, queries, args)
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
@@ -113,23 +180,40 @@ def cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_search_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--engine", choices=sorted(SERVICE_ENGINES), default="alae")
+    parser.add_argument("--alphabet", choices=ALPHABETS, default="dna")
+    parser.add_argument(
+        "--scheme", type=_parse_scheme, default=ScoringScheme(1, -3, -5, -2),
+        help="sa,sb,sg,ss (default 1,-3,-5,-2)",
+    )
+    parser.add_argument("--threshold", type=int, default=None)
+    parser.add_argument("--e-value", type=float, default=10.0)
+    parser.add_argument("--limit", type=int, default=50, help="max printed hits per query")
+    parser.add_argument("--workers", type=int, default=1, help="worker pool size")
+    parser.add_argument(
+        "--executor", choices=("threads", "processes"), default="threads",
+        help="worker pool type (processes forks the shared engine)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
     search = sub.add_parser("search", help="run a local-alignment search")
-    search.add_argument("text", help="text sequence or FASTA path")
-    search.add_argument("query", help="query sequence or FASTA path")
-    search.add_argument("--engine", choices=ENGINES, default="alae")
-    search.add_argument("--alphabet", choices=ALPHABETS, default="dna")
-    search.add_argument(
-        "--scheme", type=_parse_scheme, default=ScoringScheme(1, -3, -5, -2),
-        help="sa,sb,sg,ss (default 1,-3,-5,-2)",
-    )
-    search.add_argument("--threshold", type=int, default=None)
-    search.add_argument("--e-value", type=float, default=10.0)
-    search.add_argument("--limit", type=int, default=50)
+    search.add_argument("text", help="text sequence or FASTA path (multi-record ok)")
+    search.add_argument("query", help="query sequence or FASTA path (multi-record ok)")
+    _add_search_options(search)
     search.set_defaults(func=cmd_search)
+
+    search_db = sub.add_parser(
+        "search-db", help="batch-search a FASTA query set against a FASTA database"
+    )
+    search_db.add_argument("database", help="database FASTA path")
+    search_db.add_argument("queries", help="query FASTA path")
+    _add_search_options(search_db)
+    search_db.set_defaults(func=cmd_search_db)
 
     analyze = sub.add_parser("analyze", help="print Section 6 bounds")
     analyze.add_argument("--alphabet", choices=ALPHABETS, default="dna")
@@ -147,7 +231,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

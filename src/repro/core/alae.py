@@ -366,10 +366,20 @@ class ALAE:
         The window spans the hit's text range and the query region that can
         reach ``p_end``; the returned alignment's score is at least the hit's
         (the window may contain an even better local alignment).
+
+        The query side can be longer than the text side by the total number
+        of inserted query characters, which a single ``+ |sg|`` pad only
+        covers for one short gap run; the window is therefore expanded
+        (doubling the pad) until the recovered score reaches the hit's score
+        or the window hits the start of the query.
         """
         t_lo = max(1, hit.t_start if hit.t_start else hit.t_end - 2 * len(query))
         text_window = self.text[t_lo - 1 : hit.t_end]
         span = hit.t_end - t_lo + 1 + abs(self.scheme.sg)
-        p_lo = max(1, hit.p_end - span)
-        query_window = query[p_lo - 1 : hit.p_end]
-        return align_pair(text_window, query_window, self.scheme)
+        while True:
+            p_lo = max(1, hit.p_end - span)
+            query_window = query[p_lo - 1 : hit.p_end]
+            alignment = align_pair(text_window, query_window, self.scheme)
+            if alignment.score >= hit.score or p_lo == 1:
+                return alignment
+            span *= 2

@@ -12,10 +12,11 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.align.types import Hit
 from repro.errors import ReproError
-from repro.io.fasta import FastaRecord
+from repro.io.fasta import FastaRecord, parse_fasta_file
 
 
 @dataclass(frozen=True)
@@ -47,8 +48,33 @@ class SequenceDatabase:
             pos += len(record.sequence)
         self.text = "".join(parts)
 
+    @classmethod
+    def from_fasta(cls, path: str | Path) -> "SequenceDatabase":
+        """Load a (possibly multi-record) FASTA file as a database."""
+        return cls(parse_fasta_file(path))
+
+    @classmethod
+    def from_sequence(
+        cls, sequence: str, identifier: str = "seq"
+    ) -> "SequenceDatabase":
+        """Wrap one raw sequence string as a single-record database."""
+        return cls([FastaRecord(header=identifier, sequence=sequence)])
+
     def __len__(self) -> int:
         return len(self.records)
+
+    @property
+    def identifiers(self) -> list[str]:
+        """Record identifiers in concatenation order."""
+        return [record.identifier for record in self.records]
+
+    def boundaries(self) -> list[int]:
+        """0-based global start offset of every record (sorted)."""
+        return list(self._offsets)
+
+    def offset_of(self, index: int) -> int:
+        """0-based global start offset of one record."""
+        return self._offsets[index]
 
     @property
     def total_length(self) -> int:

@@ -1,0 +1,19 @@
+"""Serving layer: batch, multi-query search over a sequence database."""
+
+from repro.service.service import (
+    SERVICE_ENGINES,
+    BatchReport,
+    Query,
+    QueryResult,
+    SearchService,
+    ServiceError,
+)
+
+__all__ = [
+    "SERVICE_ENGINES",
+    "BatchReport",
+    "Query",
+    "QueryResult",
+    "SearchService",
+    "ServiceError",
+]

@@ -1,0 +1,537 @@
+"""Batch search serving over a sequence database (the Sec. 2.2 workload).
+
+The paper frames local alignment as a *database* operation: all sequences
+are concatenated into one text ``T`` and queries run against ``T``
+(:class:`repro.io.database.SequenceDatabase`).  :class:`SearchService` is
+the serving layer on top of that framing:
+
+* it owns **one** engine (ALAE by default) whose indexes — the reversed-text
+  CSA and the dominate index — are built once and shared by every query;
+* it accepts **batches** of queries (strings, FASTA records, or a FASTA
+  file) and runs them across a worker pool: threads by default, or a
+  fork-based :class:`~concurrent.futures.ProcessPoolExecutor` where each
+  worker inherits the already-built engine via copy-on-write fork instead
+  of rebuilding or pickling it;
+* every raw hit is attributed back to ``(sequence_id, local positions)``
+  with :meth:`SequenceDatabase.locate_hit`, and hits spanning a
+  concatenation boundary — artifacts of the concatenation, not alignments
+  of any database sequence — are dropped and counted;
+* per-query :class:`~repro.align.types.SearchStats` are aggregated into a
+  batch-level accounting via :meth:`SearchStats.aggregate`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.align.bwt_sw import BwtSw
+from repro.align.types import Hit, SearchStats
+from repro.alphabet import DNA, Alphabet
+from repro.blast import Blast
+from repro.core.alae import ALAE
+from repro.errors import ReproError
+from repro.io.database import LocatedHit, SequenceDatabase
+from repro.io.fasta import FastaRecord, parse_fasta_file
+from repro.scoring.scheme import DEFAULT_SCHEME, ScoringScheme
+
+
+class ServiceError(ReproError):
+    """Invalid service configuration or batch input."""
+
+
+def _cells_with_starts(
+    text: str,
+    query: str,
+    scheme: ScoringScheme,
+    wanted: "dict[int, list[tuple[object, int]]]",
+) -> "dict[object, tuple[int, int]]":
+    """Local-alignment ``(score, t_start)`` for chosen ``(t_end, p_end)`` cells.
+
+    One clamped affine sweep — the same recurrences and prefix-max scan as
+    :func:`smith_waterman_all_hits` (so scores agree with the oracle by
+    construction) — additionally carrying, per cell, the 1-based text start
+    of the positive-prefix alignment achieving that score.  ``wanted`` maps
+    a query row ``p_end`` to ``(key, t_end)`` requests; the result maps each
+    key to that cell's ``(score, t_start)`` (score 0: nothing ends there).
+
+    Cost is one O(n * m) vectorised pass total, regardless of how many
+    cells are requested — this is what keeps boundary-recheck batches with
+    tens of thousands of shadowed cells serviceable.
+    """
+    n, m = len(text), len(query)
+    out: dict[object, tuple[int, int]] = {}
+    if n == 0 or m == 0:
+        for requests in wanted.values():
+            for key, _j in requests:
+                out[key] = (0, 0)
+        return out
+    sa, sb, ss, sg = scheme.sa, scheme.sb, scheme.ss, scheme.sg
+    go = sg + ss
+    t_codes = np.frombuffer(text.encode("ascii"), dtype=np.uint8)
+    idx1 = np.arange(1, n + 1, dtype=np.int64)
+    karg_base = np.arange(n, dtype=np.int64)
+    h_prev = np.zeros(n + 1, dtype=np.int64)
+    s_prev = np.zeros(n + 1, dtype=np.int64)  # start per H cell (0 = none)
+    f_prev = np.full(n + 1, _NEG, dtype=np.int64)
+    sf_prev = np.zeros(n + 1, dtype=np.int64)
+    last_row = max(wanted) if wanted else 0
+    for i in range(1, min(m, last_row) + 1):
+        delta = np.where(t_codes == ord(query[i - 1]), sa, sb).astype(np.int64)
+        # Vertical gaps, carrying the start of the chosen predecessor.
+        f_from_f = f_prev + ss
+        f_from_h = h_prev + go
+        f_row = np.maximum(f_from_f, f_from_h)
+        sf_row = np.where(f_from_f >= f_from_h, sf_prev, s_prev)
+        # Diagonal: a zero H cell restarts the alignment at this column.
+        d_val = h_prev[:-1] + delta
+        d_start = np.where(h_prev[:-1] > 0, s_prev[:-1], idx1)
+        a_row = np.empty(n + 1, dtype=np.int64)
+        a_row[0] = _NEG
+        a_row[1:] = np.maximum(d_val, f_row[1:])
+        sa_row = np.empty(n + 1, dtype=np.int64)
+        sa_row[0] = 0
+        sa_row[1:] = np.where(d_val >= f_row[1:], d_start, sf_row[1:])
+        # Horizontal gaps via the prefix-max scan; the running argmax
+        # (earliest on ties) says which a-cell each gap opened from.
+        b = a_row[1:] - ss * idx1
+        cum = np.maximum.accumulate(b)
+        strict = np.empty(n, dtype=bool)
+        strict[0] = True
+        strict[1:] = b[1:] > cum[:-1]
+        karg = np.maximum.accumulate(np.where(strict, karg_base, 0))
+        e_row = np.full(n + 1, _NEG, dtype=np.int64)
+        e_row[2:] = cum[:-1] + go - ss + ss * idx1[1:]
+        se_row = np.zeros(n + 1, dtype=np.int64)
+        se_row[2:] = sa_row[1:][karg[: n - 1]]
+        h_row = np.maximum(np.maximum(a_row, e_row), 0)
+        h_row[0] = 0
+        s_row = np.where(a_row >= e_row, sa_row, se_row)
+        s_row = np.where(h_row > 0, s_row, 0)
+        if i in wanted:
+            for key, j in wanted[i]:
+                out[key] = (int(h_row[j]), int(s_row[j]))
+        h_prev, f_prev, s_prev, sf_prev = h_row, f_row, s_row, sf_row
+    return out
+
+
+#: Engine registry shared with the CLI.
+SERVICE_ENGINES = {"alae": ALAE, "bwtsw": BwtSw, "blast": Blast}
+
+_NEG = np.int64(-(10**9))
+
+
+@dataclass(frozen=True)
+class Query:
+    """One named query sequence of a batch."""
+
+    id: str
+    sequence: str
+
+
+@dataclass
+class QueryResult:
+    """Attributed hits of one query against the whole database.
+
+    ``raw_hits`` counts hits on the concatenated text before attribution;
+    ``dropped_boundary`` of them straddled a concatenation boundary with no
+    within-record alignment at the same cell still clearing the threshold
+    (shadowed cells are rechecked and recovered), so
+    ``len(hits) == raw_hits - dropped_boundary``.
+    """
+
+    query_id: str
+    hits: list[LocatedHit]
+    stats: SearchStats
+    threshold: int
+    raw_hits: int
+    dropped_boundary: int
+
+    def best(self) -> LocatedHit | None:
+        """Highest-scoring attributed hit (ties: first in position order)."""
+        return max(self.hits, key=lambda h: h.score, default=None)
+
+
+@dataclass
+class BatchReport:
+    """All per-query results of one batch plus aggregate accounting."""
+
+    results: list[QueryResult]
+    stats: SearchStats
+    wall_seconds: float
+    workers: int
+    executor: str
+
+    @property
+    def total_hits(self) -> int:
+        return sum(len(r.hits) for r in self.results)
+
+    @property
+    def total_dropped(self) -> int:
+        return sum(r.dropped_boundary for r in self.results)
+
+    @property
+    def queries_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return len(self.results) / self.wall_seconds
+
+
+# One service per process may run a fork-based batch at a time; workers
+# inherit this module global through the fork instead of unpickling the
+# engine (whose CSA alone can be tens of megabytes).  The lock makes the
+# claim/release atomic when batches are launched from concurrent threads.
+_FORK_SERVICE: "SearchService | None" = None
+_FORK_LOCK = threading.Lock()
+
+
+def _fork_search(task: tuple[Query, int | None, float | None]) -> QueryResult:
+    query, threshold, e_value = task
+    assert _FORK_SERVICE is not None  # set by the parent before forking
+    return _FORK_SERVICE._search_one(query, threshold, e_value)
+
+
+class SearchService:
+    """A shared-engine, multi-query search service over a sequence database.
+
+    Parameters
+    ----------
+    database:
+        A :class:`SequenceDatabase`, a list of :class:`FastaRecord`, or a
+        FASTA path.
+    engine:
+        Engine name (``alae`` / ``bwtsw`` / ``blast``) or an engine *class*
+        with the ``(text, alphabet=..., scheme=...)`` constructor protocol.
+    workers, executor:
+        Default worker-pool shape for :meth:`search_batch`: ``threads``
+        shares the engine directly (simple, but pure-Python searches
+        serialise on the GIL), ``processes`` forks the warmed engine into
+        ``workers`` children for true CPU parallelism.
+    engine_kwargs:
+        Extra keyword arguments forwarded to the engine constructor.
+    """
+
+    def __init__(
+        self,
+        database: SequenceDatabase | Sequence[FastaRecord] | str | Path,
+        *,
+        engine: str | type = "alae",
+        alphabet: Alphabet = DNA,
+        scheme: ScoringScheme = DEFAULT_SCHEME,
+        workers: int = 1,
+        executor: str = "threads",
+        engine_kwargs: dict | None = None,
+    ) -> None:
+        if isinstance(database, (str, Path)):
+            database = SequenceDatabase.from_fasta(database)
+        elif not isinstance(database, SequenceDatabase):
+            database = SequenceDatabase(list(database))
+        self.database = database
+        if isinstance(engine, str):
+            if engine not in SERVICE_ENGINES:
+                raise ServiceError(
+                    f"unknown engine {engine!r}; expected one of "
+                    f"{sorted(SERVICE_ENGINES)}"
+                )
+            engine = SERVICE_ENGINES[engine]
+        self.alphabet = alphabet
+        self.scheme = scheme
+        self.workers = self._check_workers(workers)
+        self.executor = self._check_executor(executor)
+        self.engine = engine(
+            database.text,
+            alphabet=alphabet,
+            scheme=scheme,
+            **(engine_kwargs or {}),
+        )
+        # Build lazily-constructed engine caches up front so concurrent
+        # threads never race on their first population.
+        if isinstance(self.engine, ALAE) and self.engine.use_domination:
+            self.engine.domination_index()
+
+    # ------------------------------------------------------------- plumbing
+    @staticmethod
+    def _check_workers(workers: int) -> int:
+        if workers < 1:
+            raise ServiceError(f"workers must be >= 1, got {workers}")
+        return workers
+
+    @staticmethod
+    def _check_executor(executor: str) -> str:
+        if executor not in ("threads", "processes"):
+            raise ServiceError(
+                f"executor must be 'threads' or 'processes', got {executor!r}"
+            )
+        if executor == "processes" and (
+            "fork" not in multiprocessing.get_all_start_methods()
+        ):
+            raise ServiceError(
+                "the 'processes' executor needs the fork start method "
+                "(unavailable on this platform); use executor='threads'"
+            )
+        return executor
+
+    def _normalize_queries(self, queries: Iterable) -> list[Query]:
+        if isinstance(queries, (str, Query, FastaRecord)):
+            # A bare sequence is one query, not an iterable of characters.
+            queries = [queries]
+        normalized: list[Query] = []
+        for i, item in enumerate(queries, start=1):
+            if isinstance(item, Query):
+                normalized.append(item)
+            elif isinstance(item, FastaRecord):
+                normalized.append(Query(item.identifier, item.sequence))
+            elif isinstance(item, str):
+                normalized.append(Query(f"q{i}", item.upper()))
+            elif isinstance(item, tuple) and len(item) == 2:
+                normalized.append(Query(str(item[0]), str(item[1]).upper()))
+            else:
+                raise ServiceError(
+                    f"query #{i} must be a str, (id, seq) tuple, Query or "
+                    f"FastaRecord, got {type(item).__name__}"
+                )
+        if not normalized:
+            raise ServiceError("batch needs at least one query")
+        return normalized
+
+    def _search_one(
+        self, query: Query, threshold: int | None, e_value: float | None
+    ) -> QueryResult:
+        result = self.engine.search(
+            query.sequence, threshold=threshold, e_value=e_value
+        )
+        raw = result.hits.hits()
+        located: list[tuple[int, LocatedHit]] = []
+        shadowed: dict[int, list[tuple[int, Hit]]] = {}
+        for pos, hit in enumerate(raw):
+            placed = self.database.locate_hit(hit)
+            if placed is not None:
+                located.append((pos, placed))
+            else:
+                idx = self.database.sequence_at(hit.t_end)
+                shadowed.setdefault(idx, []).append((pos, hit))
+        for idx, items in shadowed.items():
+            located.extend(
+                self._recover_shadowed(
+                    idx, items, query.sequence, result.threshold
+                )
+            )
+        located.sort(key=lambda item: item[0])
+        hits = [placed for _pos, placed in located]
+        return QueryResult(
+            query_id=query.id,
+            hits=hits,
+            stats=result.stats,
+            threshold=result.threshold,
+            raw_hits=len(raw),
+            dropped_boundary=len(raw) - len(hits),
+        )
+
+    def _recover_shadowed(
+        self,
+        idx: int,
+        items: list[tuple[int, Hit]],
+        query_seq: str,
+        h_thr: int,
+    ) -> list[tuple[int, LocatedHit]]:
+        """Re-check boundary-dropped cells against their end record alone.
+
+        The concatenated-text accumulator keeps only the best alignment per
+        ``(t_end, p_end)`` cell, so a straddling alignment can shadow a
+        legitimate within-record one at the same cell.  Recompute the best
+        alignment ending exactly at each dropped cell, restricted to the
+        record containing ``t_end``, and keep those still clearing the
+        threshold.  All cells of one record are answered by a single
+        vectorised sweep over a window covering them (Theorem 1: any
+        alignment clearing ``h_thr`` spans at most ``Lmax`` text chars, so
+        backing the window off by ``Lmax`` loses nothing).
+        """
+        record = self.database.records[idx]
+        offset = self.database.offset_of(idx)
+        lmax = self.scheme.max_alignment_length(len(query_seq), h_thr)
+        local_ends = [hit.t_end - offset for _pos, hit in items]
+        win_lo = max(0, min(local_ends) - lmax)  # 0-based window start
+        win_hi = max(local_ends)
+        wanted: dict[int, list[tuple[object, int]]] = {}
+        for (pos, hit), local_end in zip(items, local_ends):
+            wanted.setdefault(hit.p_end, []).append((pos, local_end - win_lo))
+        cells = _cells_with_starts(
+            record.sequence[win_lo:win_hi], query_seq, self.scheme, wanted
+        )
+        recovered: list[tuple[int, LocatedHit]] = []
+        for (pos, hit), local_end in zip(items, local_ends):
+            score, start = cells[pos]
+            if score < h_thr:
+                continue
+            recovered.append(
+                (
+                    pos,
+                    LocatedHit(
+                        sequence_id=record.identifier,
+                        t_start=win_lo + start,
+                        t_end=local_end,
+                        p_end=hit.p_end,
+                        score=score,
+                    ),
+                )
+            )
+        return recovered
+
+    # -------------------------------------------------------------- serving
+    def search(
+        self,
+        query: str | Query | FastaRecord,
+        threshold: int | None = None,
+        e_value: float | None = None,
+    ) -> QueryResult:
+        """Search one query and attribute its hits (no pool involved)."""
+        (normalized,) = self._normalize_queries([query])
+        return self._search_one(normalized, threshold, e_value)
+
+    def iter_results(
+        self,
+        queries: Iterable,
+        threshold: int | None = None,
+        e_value: float | None = None,
+        *,
+        workers: int | None = None,
+        executor: str | None = None,
+    ) -> Iterator[QueryResult]:
+        """Yield one :class:`QueryResult` per query, in submission order.
+
+        Results stream as soon as each query (and everything submitted
+        before it) finishes, so callers can emit hits before the whole
+        batch completes.  Inputs are validated here, at call time, not at
+        first iteration.
+        """
+        workers = self._check_workers(self.workers if workers is None else workers)
+        executor = self._check_executor(
+            self.executor if executor is None else executor
+        )
+        normalized = self._normalize_queries(queries)
+        return self._iter_validated(normalized, threshold, e_value, workers, executor)
+
+    def _iter_validated(
+        self,
+        normalized: list[Query],
+        threshold: int | None,
+        e_value: float | None,
+        workers: int,
+        executor: str,
+    ) -> Iterator[QueryResult]:
+        if workers == 1 or len(normalized) == 1:
+            for query in normalized:
+                yield self._search_one(query, threshold, e_value)
+            return
+        if executor == "processes":
+            yield from self._run_forked(normalized, threshold, e_value, workers)
+        else:
+            pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-search"
+            )
+            try:
+                yield from self._drain(pool, normalized, threshold, e_value)
+            finally:
+                # Early generator close: drop queued queries instead of
+                # finishing the whole batch before returning control.
+                pool.shutdown(wait=True, cancel_futures=True)
+
+    def _drain(
+        self,
+        pool: Executor,
+        queries: list[Query],
+        threshold: int | None,
+        e_value: float | None,
+    ) -> Iterator[QueryResult]:
+        futures = [
+            pool.submit(self._search_one, query, threshold, e_value)
+            for query in queries
+        ]
+        for future in futures:
+            yield future.result()
+
+    def _run_forked(
+        self,
+        queries: list[Query],
+        threshold: int | None,
+        e_value: float | None,
+        workers: int,
+    ) -> Iterator[QueryResult]:
+        global _FORK_SERVICE
+        with _FORK_LOCK:
+            if _FORK_SERVICE is not None:
+                raise ServiceError(
+                    "another fork-based batch is already running in this process"
+                )
+            _FORK_SERVICE = self
+        try:
+            pool = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=multiprocessing.get_context("fork"),
+            )
+            try:
+                futures = [
+                    pool.submit(_fork_search, (query, threshold, e_value))
+                    for query in queries
+                ]
+                for future in futures:
+                    yield future.result()
+            finally:
+                pool.shutdown(wait=True, cancel_futures=True)
+        finally:
+            with _FORK_LOCK:
+                _FORK_SERVICE = None
+
+    def search_batch(
+        self,
+        queries: Iterable,
+        threshold: int | None = None,
+        e_value: float | None = None,
+        *,
+        workers: int | None = None,
+        executor: str | None = None,
+    ) -> BatchReport:
+        """Run a whole batch and return results plus aggregate statistics."""
+        workers = self._check_workers(self.workers if workers is None else workers)
+        executor = self._check_executor(
+            self.executor if executor is None else executor
+        )
+        started = time.perf_counter()
+        results = list(
+            self.iter_results(
+                queries, threshold, e_value, workers=workers, executor=executor
+            )
+        )
+        wall = time.perf_counter() - started
+        return BatchReport(
+            results=results,
+            stats=SearchStats.aggregate(r.stats for r in results),
+            wall_seconds=wall,
+            workers=workers,
+            executor=executor,
+        )
+
+    def search_fasta(
+        self,
+        path: str | Path,
+        threshold: int | None = None,
+        e_value: float | None = None,
+        *,
+        workers: int | None = None,
+        executor: str | None = None,
+    ) -> BatchReport:
+        """Run every record of a FASTA file as one batch."""
+        return self.search_batch(
+            parse_fasta_file(path),
+            threshold,
+            e_value,
+            workers=workers,
+            executor=executor,
+        )

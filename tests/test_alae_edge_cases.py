@@ -116,6 +116,29 @@ class TestMaterialize:
         alignment = engine.materialize(best, PROTEIN.chars[:10])
         assert alignment.score >= best.score
 
+    def test_double_gapped_hit_recovers_full_score(self):
+        """Regression: two insertion runs overflow the old ``+ |sg|`` pad.
+
+        The query carries two 4-char insertions, so its aligned region is 8
+        chars longer than the text side; the single-shot window (text span
+        plus one |sg|) truncated the query start and recovered score 32 for
+        a score-34 hit.
+        """
+        import numpy as np
+
+        from repro import genome
+
+        rng = np.random.default_rng(7)
+        text = genome(60, rng)
+        query = text[:20] + "AAAA" + text[20:40] + "CCCC" + text[40:60]
+        engine = ALAE(text)
+        best = engine.search(query, threshold=30).hits.best()
+        assert best is not None
+        assert best.score == 34  # 60 matches minus two (sg + 4*ss) gap runs
+        alignment = engine.materialize(best, query)
+        assert alignment.score >= best.score
+        assert alignment.ops.count("I") == 8  # both insertion runs survive
+
 
 class TestStatsContract:
     def test_elapsed_and_nodes(self):

@@ -1,8 +1,10 @@
-"""CLI behaviour: search / analyze / generate."""
+"""CLI behaviour: search / search-db / analyze / generate."""
+
+import argparse
 
 import pytest
 
-from repro.cli import _load_sequence, _parse_scheme, build_parser, main
+from repro.cli import _load_records, _parse_scheme, build_parser, main
 
 
 class TestHelpers:
@@ -14,21 +16,36 @@ class TestHelpers:
         assert _parse_scheme("<1,-4,-5,-2>").sb == -4
 
     def test_parse_scheme_invalid(self):
-        import argparse
-
         with pytest.raises(argparse.ArgumentTypeError):
             _parse_scheme("1,-3,-5")
 
-    def test_load_sequence_literal(self):
-        assert _load_sequence("acgt") == "ACGT"
+    @pytest.mark.parametrize(
+        "value", ["1,3,5,2", "0,-3,-5,-2", "1,-3,5,-2", "1,-3,-5,2", "-1,-3,-5,-2"]
+    )
+    def test_parse_scheme_rejects_bad_signs(self, value):
+        """Positive penalties / non-positive match must fail at parse time."""
+        with pytest.raises(argparse.ArgumentTypeError, match="invalid"):
+            _parse_scheme(value)
 
-    def test_load_sequence_fasta(self, tmp_path):
+    def test_parse_scheme_rejects_non_integer(self):
+        with pytest.raises(argparse.ArgumentTypeError, match="integers"):
+            _parse_scheme("1,-3,-5,x")
+
+    def test_load_records_literal(self):
+        (record,) = _load_records("acgt", default_id="query")
+        assert record.identifier == "query"
+        assert record.sequence == "ACGT"
+
+    def test_load_records_fasta_keeps_records(self, tmp_path):
         path = tmp_path / "x.fa"
         path.write_text(">a\nAC\n>b\nGT\n")
-        assert _load_sequence(str(path)) == "ACGT"
+        records = _load_records(str(path), default_id="x")
+        assert [(r.identifier, r.sequence) for r in records] == [
+            ("a", "AC"), ("b", "GT"),
+        ]
 
 
-class TestCommands:
+class TestSearch:
     def test_search_alae(self, capsys):
         code = main(
             ["search", "GCTAGCTAGCAT", "GCTAG", "--threshold", "4"]
@@ -36,7 +53,7 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "H=4" in out
-        assert "\t5\t5\t5" in out  # the perfect GCTAG match
+        assert "query\ttext\t1\t5\t5\t5" in out  # the perfect GCTAG match
 
     def test_search_each_engine(self, capsys):
         for engine in ("alae", "bwtsw", "blast"):
@@ -53,6 +70,97 @@ class TestCommands:
         )
         assert code == 0
 
+    def test_search_boundary_hit_dropped(self, tmp_path, capsys):
+        """Regression: a hit spanning two database sequences is not reported.
+
+        The only raw hit for the query is the concatenation artifact
+        ``AT + TT`` across the record boundary; the old CLI concatenated the
+        records without offsets and happily reported it.
+        """
+        db = tmp_path / "db.fa"
+        db.write_text(">left\nGCGCGCAT\n>right\nTTGCGCGC\n")
+        code = main(["search", str(db), "ATTT", "--threshold", "4"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "hits=0" in captured.out
+        assert "dropped=1" in captured.out
+        # No hit rows at all (every line is a comment).
+        rows = [
+            line for line in captured.out.splitlines()
+            if line and not line.startswith("#")
+        ]
+        assert rows == []
+
+    def test_search_multi_record_query(self, tmp_path, capsys):
+        queries = tmp_path / "q.fa"
+        queries.write_text(">q1\nGCTAG\n>q2\nAGCAT\n")
+        code = main(
+            ["search", "GCTAGCTAGCAT", str(queries), "--threshold", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "query=q1" in out
+        assert "query=q2" in out
+        assert "q1\ttext\t1\t5\t5\t5" in out
+        assert "q2\ttext\t8\t12\t5\t5" in out
+
+    def test_search_hits_attributed_per_sequence(self, tmp_path, capsys):
+        db = tmp_path / "db.fa"
+        db.write_text(">chr1\nGCTAGAAAA\n>chr2\nAAAAGCTAG\n")
+        code = main(["search", str(db), "GCTAG", "--threshold", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        # Same local coordinates in both records, attributed separately.
+        assert "query\tchr1\t1\t5\t5\t5" in out
+        assert "query\tchr2\t5\t9\t5\t5" in out
+
+    def test_search_workers_same_output(self, tmp_path, capsys):
+        queries = tmp_path / "q.fa"
+        queries.write_text(">q1\nGCTAG\n>q2\nAGCAT\n>q3\nTAGCA\n")
+        main(["search", "GCTAGCTAGCAT", str(queries), "--threshold", "4"])
+        solo = capsys.readouterr().out
+        main(
+            ["search", "GCTAGCTAGCAT", str(queries), "--threshold", "4",
+             "--workers", "3"]
+        )
+        pooled = capsys.readouterr().out
+        assert solo == pooled
+
+
+class TestSearchDb:
+    def test_search_db(self, tmp_path, capsys):
+        db = tmp_path / "db.fa"
+        db.write_text(">a\nGCTAGCTAGCAT\n>b\nTTTTGCTAGTTT\n")
+        queries = tmp_path / "q.fa"
+        queries.write_text(">q1\nGCTAG\n")
+        code = main(["search-db", str(db), str(queries), "--threshold", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "q1\ta\t1\t5\t5\t5" in out
+        assert "q1\tb\t5\t9\t5\t5" in out
+
+    def test_search_db_missing_file(self, tmp_path, capsys):
+        db = tmp_path / "db.fa"
+        db.write_text(">a\nGCTAG\n")
+        code = main(["search-db", str(db), str(tmp_path / "nope.fa")])
+        assert code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_search_db_process_pool(self, tmp_path, capsys):
+        db = tmp_path / "db.fa"
+        db.write_text(">a\nGCTAGCTAGCAT\n")
+        queries = tmp_path / "q.fa"
+        queries.write_text(">q1\nGCTAG\n>q2\nAGCAT\n")
+        code = main(
+            ["search-db", str(db), str(queries), "--threshold", "5",
+             "--workers", "2", "--executor", "processes"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "q1\ta\t1\t5\t5\t5" in out
+
+
+class TestOtherCommands:
     def test_analyze(self, capsys):
         assert main(["analyze"]) == 0
         out = capsys.readouterr().out
@@ -71,6 +179,11 @@ class TestCommands:
         content = out_path.read_text()
         assert content.startswith(">synthetic_dna")
         assert sum(len(line) for line in content.splitlines()[1:]) == 500
+
+    def test_invalid_alphabet_sequence_is_clean_error(self, capsys):
+        code = main(["search", "GCTAG", "QQQQ", "--threshold", "4"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
 
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):

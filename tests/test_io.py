@@ -118,3 +118,22 @@ class TestSequenceDatabase:
     def test_empty_sequence_rejected(self):
         with pytest.raises(ReproError):
             SequenceDatabase([FastaRecord("x", "")])
+
+    def test_identifiers_boundaries_offsets(self):
+        db = self._db()
+        assert db.identifiers == ["s1", "s2", "s3"]
+        assert db.boundaries() == [0, 4, 10]
+        assert [db.offset_of(i) for i in range(3)] == [0, 4, 10]
+
+    def test_from_fasta_roundtrip(self, tmp_path):
+        path = tmp_path / "db.fa"
+        path.write_text(">s1\nAAAA\n>s2\nCCCCCC\n>s3\nGG\n")
+        db = SequenceDatabase.from_fasta(path)
+        assert db.text == self._db().text
+        assert db.identifiers == ["s1", "s2", "s3"]
+
+    def test_from_sequence(self):
+        db = SequenceDatabase.from_sequence("acgt".upper(), identifier="solo")
+        assert db.text == "ACGT"
+        assert db.identifiers == ["solo"]
+        assert db.boundaries() == [0]

@@ -1,0 +1,242 @@
+"""SearchService: batch exactness, pooling invariance, attribution, stats."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DEFAULT_SCHEME,
+    SearchService,
+    genome,
+    smith_waterman_all_hits,
+    write_fasta,
+)
+from repro.io.database import SequenceDatabase
+from repro.io.fasta import FastaRecord
+from repro.service import Query, ServiceError
+
+
+@pytest.fixture(scope="module")
+def database() -> SequenceDatabase:
+    rng = np.random.default_rng(11)
+    records = [
+        FastaRecord(header=f"chr{i}", sequence=genome(400, rng))
+        for i in range(1, 4)
+    ]
+    return SequenceDatabase(records)
+
+
+@pytest.fixture(scope="module")
+def queries(database) -> list[Query]:
+    text = database.text
+    chr2 = database.records[1].sequence
+    return [
+        Query("exact", chr2[100:160]),
+        Query("deletion", chr2[200:230] + chr2[236:266]),
+        # Spans the chr1|chr2 concatenation boundary: its strongest raw hit
+        # must be attributed to no sequence and dropped.
+        Query("straddle", text[380:420]),
+        Query("random", "ACGTACGTACGTACGTACGTACGTACGTAC"),
+    ]
+
+
+@pytest.fixture(scope="module")
+def service(database) -> SearchService:
+    return SearchService(database)
+
+
+THRESHOLD = 30
+
+
+def _hit_key(result):
+    """Comparison key ignoring hit order."""
+    return sorted(
+        (h.sequence_id, h.t_start, h.t_end, h.p_end, h.score) for h in result.hits
+    )
+
+
+class TestExactness:
+    def test_batch_matches_per_sequence_smith_waterman(self, database, service, queries):
+        """Attributed non-boundary hits == union of per-sequence SW answers."""
+        report = service.search_batch(queries, threshold=THRESHOLD)
+        assert len(report.results) == len(queries)
+        for query, result in zip(queries, report.results):
+            expected = set()
+            for record in database.records:
+                sw = smith_waterman_all_hits(
+                    record.sequence, query.sequence, DEFAULT_SCHEME, THRESHOLD
+                )
+                for hit in sw.hits():
+                    expected.add(
+                        (record.identifier, hit.t_end, hit.p_end, hit.score)
+                    )
+            got = {
+                (h.sequence_id, h.t_end, h.p_end, h.score) for h in result.hits
+            }
+            assert got == expected, f"mismatch for query {query.id}"
+
+    def test_straddle_query_drops_boundary_hits(self, service, queries):
+        report = service.search_batch(queries, threshold=THRESHOLD)
+        straddle = next(r for r in report.results if r.query_id == "straddle")
+        assert straddle.raw_hits > 0
+        assert straddle.dropped_boundary > 0
+        assert len(straddle.hits) == straddle.raw_hits - straddle.dropped_boundary
+
+    def test_single_query_search_equals_batch_entry(self, service, queries):
+        single = service.search(queries[0], threshold=THRESHOLD)
+        report = service.search_batch(queries, threshold=THRESHOLD)
+        assert _hit_key(single) == _hit_key(report.results[0])
+
+    def test_shadowed_within_record_hit_recovered(self):
+        """A straddling alignment must not swallow a real within-record one.
+
+        Every ``(t_end, p_end)`` cell in r2's homopolymer run is best
+        reached by an alignment starting inside r1 (dropped as a boundary
+        artifact), but a shorter within-r2 alignment at the same cell still
+        clears the threshold and must be reported with its own score.
+        """
+        records = [
+            FastaRecord("r1", "GCGCAAAA"), FastaRecord("r2", "AAAAGCGC")
+        ]
+        service = SearchService(records)
+        report = service.search_batch(["AAAAAAAA"], threshold=4)
+        result = report.results[0]
+        expected = set()
+        for record in records:
+            sw = smith_waterman_all_hits(
+                record.sequence, "AAAAAAAA", DEFAULT_SCHEME, 4
+            )
+            expected |= {
+                (record.identifier, h.t_end, h.p_end, h.score)
+                for h in sw.hits()
+            }
+        got = {(h.sequence_id, h.t_end, h.p_end, h.score) for h in result.hits}
+        assert got == expected
+        # The straddling best alignments themselves are still not reported.
+        assert all(h.t_start >= 1 for h in result.hits)
+
+    def test_engines_agree_through_service(self, database, queries):
+        alae = SearchService(database, engine="alae")
+        bwtsw = SearchService(database, engine="bwtsw")
+        ra = alae.search_batch(queries, threshold=THRESHOLD)
+        rb = bwtsw.search_batch(queries, threshold=THRESHOLD)
+        for a, b in zip(ra.results, rb.results):
+            assert {(h.sequence_id, h.t_end, h.p_end, h.score) for h in a.hits} == {
+                (h.sequence_id, h.t_end, h.p_end, h.score) for h in b.hits
+            }
+
+
+class TestPooling:
+    def test_worker_count_invariance_threads(self, service, queries):
+        base = service.search_batch(queries, threshold=THRESHOLD, workers=1)
+        for workers in (2, 4):
+            pooled = service.search_batch(
+                queries, threshold=THRESHOLD, workers=workers
+            )
+            assert [r.query_id for r in pooled.results] == [
+                r.query_id for r in base.results
+            ]
+            assert [_hit_key(r) for r in pooled.results] == [
+                _hit_key(r) for r in base.results
+            ]
+
+    def test_process_pool_matches_threads(self, service, queries):
+        base = service.search_batch(queries, threshold=THRESHOLD)
+        forked = service.search_batch(
+            queries, threshold=THRESHOLD, workers=2, executor="processes"
+        )
+        assert forked.executor == "processes"
+        assert [_hit_key(r) for r in forked.results] == [
+            _hit_key(r) for r in base.results
+        ]
+
+    def test_iter_results_validates_eagerly(self, service):
+        """Bad pool parameters fail at call time, not at first iteration."""
+        with pytest.raises(ServiceError, match="workers"):
+            service.iter_results(["ACGT"], threshold=4, workers=0)
+        with pytest.raises(ServiceError, match="executor"):
+            service.iter_results(["ACGT"], threshold=4, executor="greenlets")
+        with pytest.raises(ServiceError, match="at least one query"):
+            service.iter_results([], threshold=4)
+
+    def test_iter_results_streams_in_order(self, service, queries):
+        ids = [
+            r.query_id
+            for r in service.iter_results(queries, threshold=THRESHOLD, workers=3)
+        ]
+        assert ids == [q.id for q in queries]
+
+
+class TestStats:
+    def test_stats_aggregation_sums_counters(self, service, queries):
+        report = service.search_batch(queries, threshold=THRESHOLD)
+        assert report.stats.calculated == sum(
+            r.stats.calculated for r in report.results
+        )
+        assert report.stats.nodes_visited == sum(
+            r.stats.nodes_visited for r in report.results
+        )
+        assert report.stats.reused == sum(r.stats.reused for r in report.results)
+        assert report.stats.elapsed_seconds == pytest.approx(
+            sum(r.stats.elapsed_seconds for r in report.results)
+        )
+
+    def test_report_totals(self, service, queries):
+        report = service.search_batch(queries, threshold=THRESHOLD)
+        assert report.total_hits == sum(len(r.hits) for r in report.results)
+        assert report.total_dropped == sum(
+            r.dropped_boundary for r in report.results
+        )
+        assert report.wall_seconds > 0
+        assert report.queries_per_second > 0
+
+
+class TestInputs:
+    def test_bare_string_is_one_query_not_characters(self, service):
+        report = service.search_batch("ACGTACGTAC", threshold=8)
+        assert [r.query_id for r in report.results] == ["q1"]
+
+    def test_accepts_strings_tuples_records(self, service):
+        report = service.search_batch(
+            ["ACGTACGTAC", ("named", "ACGTACGTAC"),
+             FastaRecord("rec", "ACGTACGTAC")],
+            threshold=8,
+        )
+        assert [r.query_id for r in report.results] == ["q1", "named", "rec"]
+
+    def test_search_fasta(self, tmp_path, database, service, queries):
+        path = tmp_path / "queries.fa"
+        write_fasta(
+            [FastaRecord(q.id, q.sequence) for q in queries], path
+        )
+        from_file = service.search_fasta(path, threshold=THRESHOLD)
+        direct = service.search_batch(queries, threshold=THRESHOLD)
+        assert [_hit_key(r) for r in from_file.results] == [
+            _hit_key(r) for r in direct.results
+        ]
+
+    def test_service_from_fasta_path(self, tmp_path, database, queries):
+        path = tmp_path / "db.fa"
+        write_fasta(database.records, path)
+        service = SearchService(path)
+        report = service.search_batch(queries, threshold=THRESHOLD)
+        assert report.total_hits > 0
+
+    def test_empty_batch_rejected(self, service):
+        with pytest.raises(ServiceError, match="at least one query"):
+            service.search_batch([], threshold=10)
+
+    def test_bad_query_type_rejected(self, service):
+        with pytest.raises(ServiceError, match="query #1"):
+            service.search_batch([42], threshold=10)
+
+    def test_bad_executor_rejected(self, database):
+        with pytest.raises(ServiceError, match="executor"):
+            SearchService(database, executor="greenlets")
+
+    def test_bad_workers_rejected(self, database):
+        with pytest.raises(ServiceError, match="workers"):
+            SearchService(database, workers=0)
+
+    def test_unknown_engine_rejected(self, database):
+        with pytest.raises(ServiceError, match="unknown engine"):
+            SearchService(database, engine="ssearch")
