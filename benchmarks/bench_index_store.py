@@ -1,0 +1,109 @@
+"""Index-store economics: build once vs open forever, per database size.
+
+For each database size this measures
+
+* ``build_s`` — constructing every index from raw records (reversed-text
+  CSA + dominate index, what every cold process paid before the store),
+* ``save_s`` — serializing the built store to disk,
+* ``open_s`` — cold-starting a serving engine from the saved file
+  (``IndexStore.open`` + engine materialization from the mmapped arrays),
+* ``file_MB`` — on-disk store size,
+* ``speedup`` — build/open cold-start ratio, and
+* ``breakeven`` — how many store-served cold starts amortize the one-off
+  build+save cost: ``(build_s + save_s) / (build_s - open_s)`` rounded up;
+  every cold start after that is pure profit.
+
+A per-query timing sanity check asserts the served engine matches the
+fresh-built engine hit-for-hit on a homologous query.
+
+Run:  PYTHONPATH=src python benchmarks/bench_index_store.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import IndexStore, genome, sample_homologous_queries
+from repro.io.database import SequenceDatabase
+from repro.io.fasta import FastaRecord
+
+
+def make_database(n: int, sequences: int, seed: int) -> SequenceDatabase:
+    rng = np.random.default_rng(seed)
+    per = n // sequences
+    records = [
+        FastaRecord(header=f"chr{i}", sequence=genome(per, rng))
+        for i in range(1, sequences + 1)
+    ]
+    return SequenceDatabase(records)
+
+
+def measure(database: SequenceDatabase, directory: Path, threshold: int, seed: int):
+    started = time.perf_counter()
+    store = IndexStore.build(database)
+    build_s = time.perf_counter() - started
+
+    path = directory / f"store_{database.total_length}.idx"
+    started = time.perf_counter()
+    store.save(path)
+    save_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    reopened = IndexStore.open(path)
+    engine = reopened.engine()
+    open_s = time.perf_counter() - started
+
+    rng = np.random.default_rng(seed)
+    (query,) = sample_homologous_queries(database.text, 1, 60, rng)
+    started = time.perf_counter()
+    served = engine.search(query, threshold=threshold)
+    query_s = time.perf_counter() - started
+    fresh = store.engine().search(query, threshold=threshold)
+    assert served.hits.as_score_set() == fresh.hits.as_score_set()
+
+    file_bytes = path.stat().st_size
+    saved_per_start = build_s - open_s
+    breakeven = (
+        math.ceil((build_s + save_s) / saved_per_start)
+        if saved_per_start > 0
+        else float("inf")
+    )
+    return build_s, save_s, open_s, query_s, file_bytes, breakeven
+
+
+def run(args: argparse.Namespace) -> None:
+    print("n\tbuild_s\tsave_s\topen_s\tquery_s\tfile_MB\tspeedup\tbreakeven")
+    with tempfile.TemporaryDirectory() as tmp:
+        for n in args.sizes:
+            database = make_database(n, args.sequences, args.seed)
+            build_s, save_s, open_s, query_s, file_bytes, breakeven = measure(
+                database, Path(tmp), args.threshold, args.seed + 1
+            )
+            speedup = build_s / open_s if open_s > 0 else float("inf")
+            print(
+                f"{n}\t{build_s:.3f}\t{save_s:.3f}\t{open_s:.3f}\t"
+                f"{query_s:.3f}\t{file_bytes / 1e6:.2f}\t{speedup:.0f}x\t"
+                f"{breakeven}"
+            )
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--sizes", type=int, nargs="+",
+        default=[20_000, 80_000, 320_000, 1_280_000],
+    )
+    parser.add_argument("--sequences", type=int, default=4)
+    parser.add_argument("--threshold", type=int, default=30)
+    parser.add_argument("--seed", type=int, default=0)
+    return parser.parse_args()
+
+
+if __name__ == "__main__":
+    run(parse_args())

@@ -39,6 +39,7 @@ from repro.scoring import (
     ScoringScheme,
 )
 from repro.service import BatchReport, Query, QueryResult, SearchService
+from repro.store import IndexStore, StoreCache, StoreError, default_store_cache
 from repro.workloads import Workload, make_workload
 
 __version__ = "1.0.0"
@@ -70,6 +71,10 @@ __all__ = [
     "Query",
     "QueryResult",
     "BatchReport",
+    "IndexStore",
+    "StoreCache",
+    "StoreError",
+    "default_store_cache",
     "parse_fasta",
     "parse_fasta_file",
     "write_fasta",

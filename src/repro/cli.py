@@ -9,6 +9,11 @@ search
 search-db
     Batch-search a FASTA query set against a FASTA database, streaming
     attributed hits as each query completes.
+index build / info / verify
+    Build a persistent index store from a database FASTA, inspect its
+    header, or re-verify its checksums.  ``search`` / ``search-db`` accept
+    ``--index PATH`` to serve from a prebuilt store instead of rebuilding
+    the indexes (the build-once / serve-many workflow).
 analyze
     Print the Section 6 entry-bound table for an alphabet size.
 generate
@@ -34,8 +39,10 @@ from repro.core.analysis import entry_bound
 from repro.errors import ReproError, ScoringError
 from repro.io.database import SequenceDatabase
 from repro.io.fasta import FastaRecord, parse_fasta_file
-from repro.scoring.scheme import blast_scheme_grid
+from repro.scoring.scheme import DEFAULT_SCHEME, blast_scheme_grid
 from repro.service import SERVICE_ENGINES, SearchService
+from repro.store import IndexStore
+from repro.store.format import read_header as read_store_header
 
 ALPHABETS = {"dna": DNA, "protein": PROTEIN}
 
@@ -73,11 +80,22 @@ def _parse_scheme(value: str) -> ScoringScheme:
         ) from None
 
 
-def _make_service(args: argparse.Namespace, database: SequenceDatabase) -> SearchService:
+def _make_service(
+    args: argparse.Namespace, database: SequenceDatabase | None
+) -> SearchService:
+    """A service over ``database`` or over ``--index`` (exactly one is set).
+
+    ``--alphabet`` / ``--scheme`` stay ``None`` unless given on the command
+    line, so an indexed service adopts the store's fingerprint and an
+    explicit flag that contradicts it is rejected instead of silently
+    ignored.
+    """
+    alphabet = ALPHABETS[args.alphabet] if args.alphabet else None
     return SearchService(
         database,
+        store=args.index,
         engine=args.engine,
-        alphabet=ALPHABETS[args.alphabet],
+        alphabet=alphabet,
         scheme=args.scheme,
         workers=args.workers,
         executor=args.executor,
@@ -123,29 +141,121 @@ def _run_batch(
     return 0
 
 
+def _check_text_vs_index(args: argparse.Namespace, positional: str) -> str | None:
+    """Enforce "exactly one of the database argument and ``--index``"."""
+    value = getattr(args, positional)
+    if args.index is not None and value is not None:
+        return f"pass either a {positional} argument or --index, not both"
+    if args.index is None and value is None:
+        return f"a {positional} argument or --index is required"
+    return None
+
+
 def cmd_search(args: argparse.Namespace) -> int:
-    database = _load_database(args.text)
+    problem = _check_text_vs_index(args, "text")
+    if problem:
+        print(f"error: {problem}", file=sys.stderr)
+        return 2
+    database = _load_database(args.text) if args.index is None else None
     queries = _load_records(args.query, default_id="query")
     service = _make_service(args, database)
     return _run_batch(service, queries, args)
 
 
 def cmd_search_db(args: argparse.Namespace) -> int:
-    db_path = Path(args.database)
+    problem = _check_text_vs_index(args, "database")
+    if problem:
+        print(f"error: {problem}", file=sys.stderr)
+        return 2
     query_path = Path(args.queries)
-    for path, label in ((db_path, "database"), (query_path, "queries")):
+    paths = [(query_path, "queries")]
+    if args.index is None:
+        paths.append((Path(args.database), "database"))
+    for path, label in paths:
         if not path.exists():
             print(f"error: {label} FASTA {path} does not exist", file=sys.stderr)
             return 2
-    database = SequenceDatabase.from_fasta(db_path)
+    database = (
+        SequenceDatabase.from_fasta(args.database)
+        if args.index is None
+        else None
+    )
     queries = parse_fasta_file(query_path)
     service = _make_service(args, database)
+    source = (
+        f"database={Path(args.database).name}"
+        if args.index is None
+        else f"index={Path(args.index).name}"
+    )
     print(
-        f"# database={db_path.name} sequences={len(database)} "
-        f"total={database.total_length} queries={len(queries)}",
+        f"# {source} sequences={len(service.database)} "
+        f"total={service.database.total_length} queries={len(queries)}",
         file=sys.stderr,
     )
     return _run_batch(service, queries, args)
+
+
+def cmd_index_build(args: argparse.Namespace) -> int:
+    out = args.out
+    if out is None:
+        # The <database>.idx default only makes sense for a real file; a
+        # literal sequence would otherwise become the output filename.
+        if not Path(args.database).exists():
+            print(
+                "error: --out is required when the database is a literal "
+                "sequence",
+                file=sys.stderr,
+            )
+            return 2
+        out = f"{args.database}.idx"
+    database = _load_database(args.database)
+    store = IndexStore.build(
+        database,
+        alphabet=ALPHABETS[args.alphabet],
+        scheme=args.scheme or DEFAULT_SCHEME,
+        occ_block=args.occ_block,
+        sa_sample=args.sa_sample,
+    )
+    path = store.save(out)
+    print(
+        f"wrote {path} ({path.stat().st_size:,} bytes, "
+        f"{len(database)} sequences, {database.total_length:,} chars, "
+        f"fingerprint {store.fingerprint_key})",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_index_info(args: argparse.Namespace) -> int:
+    store = IndexStore.open(args.path)
+    meta = store.header["database"]
+    print(f"# {args.path}")
+    print(f"fingerprint\t{store.fingerprint_key}")
+    print(f"sequences\t{meta['records']}")
+    print(f"total_length\t{meta['total_length']}")
+    print("# array\tdtype\tshape\tbytes\tcrc32")
+    for spec in store.header["arrays"]:
+        shape = "x".join(str(s) for s in spec["shape"])
+        print(
+            f"{spec['name']}\t{spec['dtype']}\t{shape}\t{spec['nbytes']}\t"
+            f"{spec['crc32']:08x}"
+        )
+    return 0
+
+
+def cmd_index_verify(args: argparse.Namespace) -> int:
+    problems = IndexStore.verify(args.path)
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    header, _ = read_store_header(args.path)
+    print(
+        f"OK: {args.path} ({len(header['arrays'])} arrays, "
+        f"all checksums match)",
+        file=sys.stderr,
+    )
+    return 0
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
@@ -182,18 +292,27 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 def _add_search_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--engine", choices=sorted(SERVICE_ENGINES), default="alae")
-    parser.add_argument("--alphabet", choices=ALPHABETS, default="dna")
     parser.add_argument(
-        "--scheme", type=_parse_scheme, default=ScoringScheme(1, -3, -5, -2),
-        help="sa,sb,sg,ss (default 1,-3,-5,-2)",
+        "--alphabet", choices=ALPHABETS, default=None,
+        help="dna or protein (default dna, or the --index fingerprint)",
+    )
+    parser.add_argument(
+        "--scheme", type=_parse_scheme, default=None,
+        help="sa,sb,sg,ss (default 1,-3,-5,-2, or the --index fingerprint)",
+    )
+    parser.add_argument(
+        "--index", default=None, metavar="PATH",
+        help="serve from a prebuilt index store (see `repro index build`) "
+        "instead of building indexes from the database argument",
     )
     parser.add_argument("--threshold", type=int, default=None)
     parser.add_argument("--e-value", type=float, default=10.0)
     parser.add_argument("--limit", type=int, default=50, help="max printed hits per query")
     parser.add_argument("--workers", type=int, default=1, help="worker pool size")
     parser.add_argument(
-        "--executor", choices=("threads", "processes"), default="threads",
-        help="worker pool type (processes forks the shared engine)",
+        "--executor", choices=("threads", "processes", "spawn"), default="threads",
+        help="worker pool type (processes forks the shared engine; spawn "
+        "reopens an --index store in fresh workers)",
     )
 
 
@@ -202,7 +321,10 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     search = sub.add_parser("search", help="run a local-alignment search")
-    search.add_argument("text", help="text sequence or FASTA path (multi-record ok)")
+    search.add_argument(
+        "text", nargs="?", default=None,
+        help="text sequence or FASTA path (multi-record ok); omit with --index",
+    )
     search.add_argument("query", help="query sequence or FASTA path (multi-record ok)")
     _add_search_options(search)
     search.set_defaults(func=cmd_search)
@@ -210,10 +332,45 @@ def build_parser() -> argparse.ArgumentParser:
     search_db = sub.add_parser(
         "search-db", help="batch-search a FASTA query set against a FASTA database"
     )
-    search_db.add_argument("database", help="database FASTA path")
+    search_db.add_argument(
+        "database", nargs="?", default=None,
+        help="database FASTA path; omit with --index",
+    )
     search_db.add_argument("queries", help="query FASTA path")
     _add_search_options(search_db)
     search_db.set_defaults(func=cmd_search_db)
+
+    index = sub.add_parser(
+        "index", help="build / inspect / verify persistent index stores"
+    )
+    index_sub = index.add_subparsers(dest="index_command", required=True)
+
+    build = index_sub.add_parser(
+        "build", help="build all indexes for a database and save them"
+    )
+    build.add_argument("database", help="database FASTA path or literal sequence")
+    build.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="output store path (default: <database>.idx)",
+    )
+    build.add_argument("--alphabet", choices=ALPHABETS, default="dna")
+    build.add_argument(
+        "--scheme", type=_parse_scheme, default=None,
+        help="sa,sb,sg,ss (default 1,-3,-5,-2)",
+    )
+    build.add_argument("--occ-block", type=int, default=128)
+    build.add_argument("--sa-sample", type=int, default=16)
+    build.set_defaults(func=cmd_index_build)
+
+    info = index_sub.add_parser("info", help="print a store's header")
+    info.add_argument("path", help="index store path")
+    info.set_defaults(func=cmd_index_info)
+
+    verify = index_sub.add_parser(
+        "verify", help="recompute every checksum of a store"
+    )
+    verify.add_argument("path", help="index store path")
+    verify.set_defaults(func=cmd_index_verify)
 
     analyze = sub.add_parser("analyze", help="print Section 6 bounds")
     analyze.add_argument("--alphabet", choices=ALPHABETS, default="dna")

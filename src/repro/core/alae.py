@@ -90,6 +90,42 @@ class ALAE:
         )
         self._dom_cache: dict[int, DominationIndex] = {}
 
+    @classmethod
+    def from_prebuilt(
+        cls,
+        csa: ReversedTextIndex,
+        *,
+        scheme: ScoringScheme = DEFAULT_SCHEME,
+        domination: DominationIndex | None = None,
+        use_length_filter: bool = True,
+        use_score_filter: bool = True,
+        use_domination: bool = True,
+        use_reuse: bool = True,
+        use_global_bitmask: bool = False,
+    ) -> "ALAE":
+        """Assemble an engine around already-built indexes (store fast path).
+
+        Skips text validation and all index construction: ``csa`` supplies
+        the text, alphabet and reversed-text FM-index, and ``domination``
+        (when given) pre-seeds the dominate-index cache for its own ``q``.
+        Any other prefix length requested later is still built on demand
+        from the text.
+        """
+        engine = cls.__new__(cls)
+        engine.text = csa.text
+        engine.alphabet = csa.alphabet
+        engine.scheme = scheme
+        engine.use_length_filter = use_length_filter
+        engine.use_score_filter = use_score_filter
+        engine.use_domination = use_domination
+        engine.use_reuse = use_reuse
+        engine.use_global_bitmask = use_global_bitmask
+        engine.csa = csa
+        engine._dom_cache = {}
+        if domination is not None:
+            engine._dom_cache[domination.q] = domination
+        return engine
+
     # ---------------------------------------------------------------- index
     def domination_index(self, q: int | None = None) -> DominationIndex:
         """The (cached) offline dominate index for prefix length ``q``."""
@@ -100,10 +136,25 @@ class ALAE:
         return self._dom_cache[q]
 
     def index_size_bytes(self) -> dict[str, int]:
-        """Fig. 11 accounting: BWT index + dominate index sizes."""
-        bwt = self.csa.size_bytes()["total"]
-        dom = self.domination_index().size_bytes() if self.use_domination else 0
-        return {"bwt_index": bwt, "dominate_index": dom, "total": bwt + dom}
+        """Fig. 11 accounting: BWT index + dominate index sizes.
+
+        ``*_actual`` / ``actual_total`` report the bytes the same structures
+        occupy when serialized by ``repro.store`` — the paper's model next
+        to the on-disk truth.
+        """
+        bwt = self.csa.size_bytes()
+        dom = self.domination_index() if self.use_domination else None
+        dom_model = dom.size_bytes() if dom is not None else 0
+        dom_actual = dom.actual_size_bytes() if dom is not None else 0
+        bwt_actual = bwt["actual"]["total"]
+        return {
+            "bwt_index": bwt["total"],
+            "dominate_index": dom_model,
+            "total": bwt["total"] + dom_model,
+            "bwt_index_actual": bwt_actual,
+            "dominate_index_actual": dom_actual,
+            "actual_total": bwt_actual + dom_actual,
+        }
 
     # --------------------------------------------------------------- search
     def search(

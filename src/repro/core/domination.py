@@ -52,6 +52,38 @@ class DominationIndex:
             prev_gram = gram
         self._pred = pred
 
+    # -------------------------------------------------------- serialization
+    @classmethod
+    def from_items(
+        cls, items: "list[tuple[str, str | None, bool]]", q: int, n: int
+    ) -> "DominationIndex":
+        """Rebuild an index from :meth:`export_items` rows without a text scan."""
+        index = cls.__new__(cls)
+        index.q = int(q)
+        index.n = int(n)
+        pred: dict[str, object] = {}
+        for gram, predecessor, multi in items:
+            pred[gram] = _MULTI if multi else predecessor
+        index._pred = pred
+        return index
+
+    def export_items(self) -> "list[tuple[str, str | None, bool]]":
+        """``(gram, unique predecessor or None, multi?)`` rows, gram-sorted.
+
+        ``multi`` distinguishes "several distinct predecessors" from "no
+        predecessor / occurs at position 1" — both answer ``None`` to
+        :meth:`unique_predecessor` but must round-trip distinctly so a
+        reloaded index is bit-identical to the scanned one.
+        """
+        rows: list[tuple[str, str | None, bool]] = []
+        for gram in sorted(self._pred):
+            value = self._pred[gram]
+            if value is _MULTI:
+                rows.append((gram, None, True))
+            else:
+                rows.append((gram, value, False))  # type: ignore[arg-type]
+        return rows
+
     def unique_predecessor(self, gram: str) -> str | None:
         """The single q-gram preceding every occurrence of ``gram``, if any.
 
@@ -89,6 +121,14 @@ class DominationIndex:
             else:
                 size += self.q + 1
         return size
+
+    def actual_size_bytes(self) -> int:
+        """Bytes the index occupies when serialized by ``repro.store``.
+
+        Every entry stores its gram (q bytes), a status byte, and a
+        fixed-width predecessor slot (q bytes, zeroed when absent).
+        """
+        return len(self._pred) * (2 * self.q + 1)
 
 
 _unset = object()

@@ -27,3 +27,7 @@ class SearchError(ReproError):
 
 class EValueError(ReproError):
     """Karlin-Altschul statistics could not be computed for a scheme."""
+
+
+class StoreError(ReproError):
+    """A persistent index store is corrupt, incompatible, or misused."""

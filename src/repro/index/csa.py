@@ -48,6 +48,32 @@ class ReversedTextIndex:
             rev_codes, alphabet.size, occ_block=occ_block, sa_sample=sa_sample
         )
 
+    # -------------------------------------------------------- serialization
+    @classmethod
+    def from_fm_index(
+        cls, text: str, alphabet: Alphabet, fm: FMIndex
+    ) -> "ReversedTextIndex":
+        """Wrap a prebuilt reversed-text FM-index (e.g. loaded from a store).
+
+        ``fm`` must index ``text`` *reversed* with codes shifted by +1, as
+        built by the regular constructor; the text itself is trusted (it
+        came from the same store) and is not re-validated.
+        """
+        if fm.n != len(text):
+            raise IndexError_(
+                f"FM-index covers {fm.n} characters, text has {len(text)}"
+            )
+        index = cls.__new__(cls)
+        index.alphabet = alphabet
+        index.text = text
+        index.n = len(text)
+        index._fm = fm
+        return index
+
+    def fm_components(self) -> "dict[str, np.ndarray]":
+        """Export the underlying FM-index arrays for serialization."""
+        return self._fm.components()
+
     # ------------------------------------------------------------- traversal
     def root(self) -> tuple[int, int]:
         """SA range of the empty path (the conceptual trie root)."""

@@ -57,6 +57,10 @@ class FMIndex:
         codes = np.asarray(codes, dtype=np.int64)
         if codes.size and (codes.min() < 1 or codes.max() > sigma):
             raise IndexError_("codes must lie in [1, sigma]")
+        if occ_block < 1:
+            raise IndexError_(f"occ_block must be >= 1, got {occ_block}")
+        if sa_sample < 1:
+            raise IndexError_(f"sa_sample must be >= 1, got {sa_sample}")
         self.sigma = int(sigma)
         self.n = int(codes.size)
         self._occ_block = int(occ_block)
@@ -91,6 +95,77 @@ class FMIndex:
         self._sa_samples = dict(
             zip(np.nonzero(mask)[0].tolist(), sa[mask].tolist())
         )
+
+    # -------------------------------------------------------- serialization
+    @classmethod
+    def from_components(
+        cls,
+        bwt: np.ndarray,
+        c_array: np.ndarray,
+        occ_ckpt: np.ndarray,
+        sa_rows: np.ndarray,
+        sa_positions: np.ndarray,
+        *,
+        sigma: int,
+        occ_block: int,
+        sa_sample: int,
+    ) -> "FMIndex":
+        """Rebuild an index from previously exported components.
+
+        The expensive suffix-array construction is skipped entirely; the
+        remaining cost is materialising the hot-path representations (the
+        BWT byte string, checkpoint row lists and the sampled-SA dict) from
+        the given arrays, which may be read-only ``numpy.memmap`` views —
+        loading them is a sequential page-in, not a rebuild.
+        """
+        fm = cls.__new__(cls)
+        fm.sigma = int(sigma)
+        fm.n = int(len(bwt)) - 1
+        fm._occ_block = int(occ_block)
+        fm._sa_sample = int(sa_sample)
+        fm._bwt = np.asarray(bwt, dtype=np.uint8).tobytes()
+        fm._C = np.asarray(c_array, dtype=np.int64)
+        occ_ckpt = np.asarray(occ_ckpt)
+        expected_rows = (fm.n + 1) // fm._occ_block + 1
+        if fm._C.size != sigma + 2:
+            raise IndexError_(
+                f"C array has {fm._C.size} entries, expected {sigma + 2}"
+            )
+        if occ_ckpt.shape != (expected_rows, sigma + 1):
+            raise IndexError_(
+                f"Occ checkpoints shaped {occ_ckpt.shape}, expected "
+                f"{(expected_rows, sigma + 1)}"
+            )
+        if len(sa_rows) != len(sa_positions):
+            raise IndexError_("sampled-SA rows and positions differ in length")
+        fm._C_list = fm._C.tolist()
+        fm._occ_ckpt = occ_ckpt
+        fm._occ_rows = occ_ckpt.tolist()
+        fm._sa_samples = dict(
+            zip(
+                np.asarray(sa_rows, dtype=np.int64).tolist(),
+                np.asarray(sa_positions, dtype=np.int64).tolist(),
+            )
+        )
+        return fm
+
+    def components(self) -> "dict[str, np.ndarray]":
+        """Export every array a store needs to rebuild this index.
+
+        Keys match :meth:`from_components` parameters; the sampled SA is
+        split into parallel ``sa_rows`` / ``sa_positions`` arrays in
+        ascending row order so the export is deterministic.
+        """
+        rows = sorted(self._sa_samples)
+        return {
+            "bwt": np.frombuffer(self._bwt, dtype=np.uint8),
+            "c_array": np.asarray(self._C, dtype=np.int64),
+            "occ_ckpt": np.asarray(self._occ_ckpt, dtype=np.int64),
+            "sa_rows": np.asarray(rows, dtype=np.int64),
+            "sa_positions": np.asarray(
+                [self._sa_samples[r] for r in rows], dtype=np.int64
+            ),
+        }
 
     # ------------------------------------------------------------------ rank
     def occ(self, c: int, i: int) -> int:
@@ -160,16 +235,30 @@ class FMIndex:
 
     # ----------------------------------------------------------------- size
     def size_bytes(self) -> dict[str, int]:
-        """Modelled index size breakdown (paper-style accounting, Fig. 11)."""
+        """Modelled index size breakdown (paper-style accounting, Fig. 11).
+
+        The ``actual`` sub-dict reports what the components really occupy
+        when serialized by ``repro.store`` (1 byte/BWT char, 64-bit
+        checkpoint counters, 64+64-bit sampled-SA pairs), so benchmarks can
+        print the paper's model and the on-disk truth side by side.
+        """
         bits_per_char = max(1, math.ceil(math.log2(self.sigma + 1)))
         bwt_bytes = math.ceil((self.n + 1) * bits_per_char / 8)
         occ_bytes = self._occ_ckpt.size * 4  # 32-bit checkpoint counters
         sa_bytes = len(self._sa_samples) * 8  # row->pos pairs, 32+32 bits
         c_bytes = self._C.size * 4
+        actual = {
+            "bwt": len(self._bwt),
+            "occ_checkpoints": int(self._occ_ckpt.size) * 8,
+            "sa_samples": len(self._sa_samples) * 16,
+            "c_array": int(self._C.size) * 8,
+        }
+        actual["total"] = sum(actual.values())
         return {
             "bwt": bwt_bytes,
             "occ_checkpoints": occ_bytes,
             "sa_samples": sa_bytes,
             "c_array": c_bytes,
             "total": bwt_bytes + occ_bytes + sa_bytes + c_bytes,
+            "actual": actual,
         }

@@ -54,11 +54,57 @@ class SequenceDatabase:
         return cls(parse_fasta_file(path))
 
     @classmethod
+    def coerce(cls, database) -> "SequenceDatabase":
+        """Accept a database, a FASTA path, or a record sequence as-is.
+
+        The single normalization point shared by every database-taking
+        entry point (:class:`~repro.service.SearchService`,
+        ``IndexStore.build``), so new input forms are added once.
+        """
+        if isinstance(database, cls):
+            return database
+        if isinstance(database, (str, Path)):
+            return cls.from_fasta(database)
+        return cls(list(database))
+
+    @classmethod
     def from_sequence(
         cls, sequence: str, identifier: str = "seq"
     ) -> "SequenceDatabase":
         """Wrap one raw sequence string as a single-record database."""
         return cls([FastaRecord(header=identifier, sequence=sequence)])
+
+    @classmethod
+    def from_concatenated(
+        cls, text: str, offsets: list[int], headers: list[str]
+    ) -> "SequenceDatabase":
+        """Rebuild a database from its concatenated form (store fast path).
+
+        The inverse of the constructor's concatenation: record sequences are
+        slices of ``text`` at the given 0-based ``offsets``, so no join is
+        performed and ``text`` is shared as-is with the caller.
+        """
+        offsets = [int(o) for o in offsets]
+        if len(offsets) != len(headers):
+            raise ReproError(
+                f"{len(offsets)} offsets for {len(headers)} headers"
+            )
+        if not offsets or offsets[0] != 0 or sorted(offsets) != offsets:
+            raise ReproError("offsets must be sorted and start at 0")
+        if offsets[-1] >= len(text):
+            raise ReproError("last offset lies beyond the text")
+        db = cls.__new__(cls)
+        bounds = offsets + [len(text)]
+        db.records = [
+            FastaRecord(header=header, sequence=text[bounds[i] : bounds[i + 1]])
+            for i, header in enumerate(headers)
+        ]
+        for record in db.records:
+            if not record.sequence:
+                raise ReproError(f"empty sequence {record.identifier!r}")
+        db._offsets = offsets
+        db.text = text
+        return db
 
     def __len__(self) -> int:
         return len(self.records)

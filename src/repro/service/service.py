@@ -6,12 +6,17 @@ are concatenated into one text ``T`` and queries run against ``T``
 the serving layer on top of that framing:
 
 * it owns **one** engine (ALAE by default) whose indexes — the reversed-text
-  CSA and the dominate index — are built once and shared by every query;
+  CSA and the dominate index — are built once and shared by every query, or
+  opened prebuilt from a persistent :class:`~repro.store.IndexStore`
+  (``SearchService(store=...)`` / :meth:`SearchService.from_store`) so the
+  service cold-starts without any index construction;
 * it accepts **batches** of queries (strings, FASTA records, or a FASTA
-  file) and runs them across a worker pool: threads by default, or a
+  file) and runs them across a worker pool: threads by default, a
   fork-based :class:`~concurrent.futures.ProcessPoolExecutor` where each
   worker inherits the already-built engine via copy-on-write fork instead
-  of rebuilding or pickling it;
+  of rebuilding or pickling it, or — for store-backed services — a
+  spawn-based pool whose workers *reopen the store by path* (mmap, no fork
+  needed, works on any platform);
 * every raw hit is attributed back to ``(sequence_id, local positions)``
   with :meth:`SequenceDatabase.locate_hit`, and hits spanning a
   concatenation boundary — artifacts of the concatenation, not alignments
@@ -25,6 +30,7 @@ from __future__ import annotations
 import multiprocessing
 import threading
 import time
+import warnings
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
@@ -41,6 +47,8 @@ from repro.errors import ReproError
 from repro.io.database import LocatedHit, SequenceDatabase
 from repro.io.fasta import FastaRecord, parse_fasta_file
 from repro.scoring.scheme import DEFAULT_SCHEME, ScoringScheme
+from repro.store import IndexStore, default_store_cache
+from repro.store.format import header_prefix_crc
 
 
 class ServiceError(ReproError):
@@ -198,6 +206,37 @@ def _fork_search(task: tuple[Query, int | None, float | None]) -> QueryResult:
     return _FORK_SERVICE._search_one(query, threshold, e_value)
 
 
+# Spawn workers carry no parent memory: the pool initializer reopens the
+# parent's saved index store by path (mmap, via the process-wide store
+# cache, so several pools in one worker process share one engine).  The
+# parent's header CRC rides along so a store rebuilt in place between the
+# parent's open and the worker's is a hard error, never mixed results.
+_SPAWN_SERVICE: "SearchService | None" = None
+
+
+def _spawn_init(
+    store_path: str, engine_kwargs: dict, expected_header_crc: int | None
+) -> None:
+    global _SPAWN_SERVICE
+    _SPAWN_SERVICE = SearchService(
+        store=store_path, engine_kwargs=engine_kwargs
+    )
+    worker_crc = _SPAWN_SERVICE.store.header_crc
+    if expected_header_crc is not None and worker_crc != expected_header_crc:
+        raise ServiceError(
+            f"index store {store_path} changed on disk since the parent "
+            f"opened it (header CRC {worker_crc:#010x} != expected "
+            f"{expected_header_crc:#010x}); rebuild the service from the "
+            f"new store"
+        )
+
+
+def _spawn_search(task: tuple[Query, int | None, float | None]) -> QueryResult:
+    query, threshold, e_value = task
+    assert _SPAWN_SERVICE is not None  # set by the pool initializer
+    return _SPAWN_SERVICE._search_one(query, threshold, e_value)
+
+
 class SearchService:
     """A shared-engine, multi-query search service over a sequence database.
 
@@ -205,35 +244,44 @@ class SearchService:
     ----------
     database:
         A :class:`SequenceDatabase`, a list of :class:`FastaRecord`, or a
-        FASTA path.
+        FASTA path.  Mutually exclusive with ``store``.
+    store:
+        A prebuilt :class:`~repro.store.IndexStore` (or a path to one, built
+        with ``repro index build``): the database, alphabet, scheme and all
+        indexes are taken from the store instead of being built here.
+        Explicitly passed ``alphabet`` / ``scheme`` must then match the
+        store's fingerprint.
     engine:
         Engine name (``alae`` / ``bwtsw`` / ``blast``) or an engine *class*
         with the ``(text, alphabet=..., scheme=...)`` constructor protocol.
+        Store-backed services serve the ``alae`` engine (the store holds its
+        indexes).
     workers, executor:
         Default worker-pool shape for :meth:`search_batch`: ``threads``
         shares the engine directly (simple, but pure-Python searches
         serialise on the GIL), ``processes`` forks the warmed engine into
-        ``workers`` children for true CPU parallelism.
+        ``workers`` children for true CPU parallelism (falling back to
+        ``spawn`` or ``threads`` where fork is unavailable), and ``spawn``
+        starts fresh workers that reopen the attached store by path —
+        available only for services opened from a *saved* store.
     engine_kwargs:
-        Extra keyword arguments forwarded to the engine constructor.
+        Extra keyword arguments forwarded to the engine constructor (for
+        store-backed services: the engine's ``use_*`` toggles).
     """
 
     def __init__(
         self,
-        database: SequenceDatabase | Sequence[FastaRecord] | str | Path,
+        database: SequenceDatabase | Sequence[FastaRecord] | str | Path | None = None,
         *,
+        store: "IndexStore | str | Path | None" = None,
         engine: str | type = "alae",
-        alphabet: Alphabet = DNA,
-        scheme: ScoringScheme = DEFAULT_SCHEME,
+        alphabet: Alphabet | None = None,
+        scheme: ScoringScheme | None = None,
         workers: int = 1,
         executor: str = "threads",
         engine_kwargs: dict | None = None,
     ) -> None:
-        if isinstance(database, (str, Path)):
-            database = SequenceDatabase.from_fasta(database)
-        elif not isinstance(database, SequenceDatabase):
-            database = SequenceDatabase(list(database))
-        self.database = database
+        self._engine_kwargs = dict(engine_kwargs or {})
         if isinstance(engine, str):
             if engine not in SERVICE_ENGINES:
                 raise ServiceError(
@@ -241,20 +289,58 @@ class SearchService:
                     f"{sorted(SERVICE_ENGINES)}"
                 )
             engine = SERVICE_ENGINES[engine]
-        self.alphabet = alphabet
-        self.scheme = scheme
-        self.workers = self._check_workers(workers)
-        self.executor = self._check_executor(executor)
-        self.engine = engine(
-            database.text,
-            alphabet=alphabet,
-            scheme=scheme,
-            **(engine_kwargs or {}),
-        )
+        if store is not None:
+            if database is not None:
+                raise ServiceError(
+                    "pass either a database or a store, not both"
+                )
+            if engine is not ALAE:
+                raise ServiceError(
+                    "a prebuilt store holds ALAE indexes; other engines "
+                    "need a database to build from"
+                )
+            if isinstance(store, (str, Path)):
+                store = default_store_cache().get(store)
+            if alphabet is not None:
+                store.check_alphabet(alphabet)
+            if scheme is not None:
+                store.check_scheme(scheme)
+            self.store = store
+            self._store_path = store.path
+            self.database = store.database()
+            self.alphabet = store.alphabet
+            self.scheme = store.scheme
+            self.workers = self._check_workers(workers)
+            self.executor = self._check_executor(executor)
+            self.engine = store.engine(**self._engine_kwargs)
+        else:
+            if database is None:
+                raise ServiceError("pass a database or a store")
+            database = SequenceDatabase.coerce(database)
+            self.store = None
+            self._store_path = None
+            self.database = database
+            self.alphabet = DNA if alphabet is None else alphabet
+            self.scheme = DEFAULT_SCHEME if scheme is None else scheme
+            self.workers = self._check_workers(workers)
+            self.executor = self._check_executor(executor)
+            self.engine = engine(
+                database.text,
+                alphabet=self.alphabet,
+                scheme=self.scheme,
+                **self._engine_kwargs,
+            )
         # Build lazily-constructed engine caches up front so concurrent
         # threads never race on their first population.
         if isinstance(self.engine, ALAE) and self.engine.use_domination:
             self.engine.domination_index()
+
+    @classmethod
+    def from_store(
+        cls, path: "IndexStore | str | Path", **kwargs
+    ) -> "SearchService":
+        """Open a service over a prebuilt index store (no index construction)."""
+        return cls(store=path, **kwargs)
 
     # ------------------------------------------------------------- plumbing
     @staticmethod
@@ -263,19 +349,44 @@ class SearchService:
             raise ServiceError(f"workers must be >= 1, got {workers}")
         return workers
 
-    @staticmethod
-    def _check_executor(executor: str) -> str:
-        if executor not in ("threads", "processes"):
+    def _check_executor(self, executor: str) -> str:
+        """Validate an executor choice, resolving platform fallbacks.
+
+        ``processes`` prefers fork (workers inherit the warmed engine
+        copy-on-write); on platforms without fork it becomes ``spawn`` when
+        a saved store is attached (workers reopen it by path) and otherwise
+        degrades to ``threads`` with a warning instead of raising.
+        """
+        if executor not in ("threads", "processes", "spawn"):
             raise ServiceError(
-                f"executor must be 'threads' or 'processes', got {executor!r}"
+                f"executor must be 'threads', 'processes' or 'spawn', "
+                f"got {executor!r}"
             )
-        if executor == "processes" and (
-            "fork" not in multiprocessing.get_all_start_methods()
-        ):
-            raise ServiceError(
+        methods = multiprocessing.get_all_start_methods()
+        if executor == "spawn":
+            if self._store_path is None:
+                raise ServiceError(
+                    "the 'spawn' executor needs a service opened from a "
+                    "saved index store (workers reopen it by path); build "
+                    "one with IndexStore.build(...).save() or "
+                    "`repro index build`"
+                )
+            if "spawn" not in methods:
+                raise ServiceError(
+                    "the 'spawn' start method is unavailable on this platform"
+                )
+            return executor
+        if executor == "processes" and "fork" not in methods:
+            if self._store_path is not None and "spawn" in methods:
+                return "spawn"
+            warnings.warn(
                 "the 'processes' executor needs the fork start method "
-                "(unavailable on this platform); use executor='threads'"
+                "(unavailable on this platform) and no saved index store "
+                "is attached for spawn workers; degrading to 'threads'",
+                RuntimeWarning,
+                stacklevel=3,
             )
+            return "threads"
         return executor
 
     def _normalize_queries(self, queries: Iterable) -> list[Query]:
@@ -432,6 +543,8 @@ class SearchService:
             return
         if executor == "processes":
             yield from self._run_forked(normalized, threshold, e_value, workers)
+        elif executor == "spawn":
+            yield from self._run_spawn(normalized, threshold, e_value, workers)
         else:
             pool = ThreadPoolExecutor(
                 max_workers=workers, thread_name_prefix="repro-search"
@@ -488,6 +601,43 @@ class SearchService:
         finally:
             with _FORK_LOCK:
                 _FORK_SERVICE = None
+
+    def _run_spawn(
+        self,
+        queries: list[Query],
+        threshold: int | None,
+        e_value: float | None,
+        workers: int,
+    ) -> Iterator[QueryResult]:
+        assert self._store_path is not None  # enforced by _check_executor
+        # Fail in the parent, with a clean error, when the store file no
+        # longer matches what this service loaded; the worker-side check in
+        # _spawn_init covers the remaining race after this point.
+        expected = self.store.header_crc if self.store is not None else None
+        if expected is not None and header_prefix_crc(self._store_path) != expected:
+            raise ServiceError(
+                f"index store {self._store_path} changed on disk since this "
+                f"service opened it; rebuild the service from the new store"
+            )
+        pool = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=multiprocessing.get_context("spawn"),
+            initializer=_spawn_init,
+            initargs=(
+                str(self._store_path),
+                self._engine_kwargs,
+                self.store.header_crc if self.store is not None else None,
+            ),
+        )
+        try:
+            futures = [
+                pool.submit(_spawn_search, (query, threshold, e_value))
+                for query in queries
+            ]
+            for future in futures:
+                yield future.result()
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
 
     def search_batch(
         self,

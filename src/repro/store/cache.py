@@ -1,0 +1,85 @@
+"""In-process LRU cache of opened index stores.
+
+Serving layers (and spawn-pool workers) open stores by *path*; the cache
+makes repeated opens of the same file — same path, same mtime, same
+fingerprint — return the same :class:`~repro.store.store.IndexStore`
+instance, so the materialized engine and database are shared too.  A store
+rebuilt in place (mtime or size change) or rebuilt with different
+parameters (fingerprint change) gets a fresh entry; stale entries age out
+least-recently-used.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from pathlib import Path
+
+from repro.errors import StoreError
+from repro.store.format import header_prefix_crc
+from repro.store.store import IndexStore
+
+
+class StoreCache:
+    """LRU cache of :class:`IndexStore` keyed by ``(path, mtime, fingerprint)``.
+
+    The lookup key is ``(path, mtime_ns, size, header_crc)``: the header
+    CRC (a 20-byte read from the fixed prefix) covers the fingerprint, so
+    a file rebuilt in place with different parameters misses even on
+    filesystems whose mtime granularity would otherwise alias the rewrite.
+    """
+
+    def __init__(self, capacity: int = 4) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[tuple, IndexStore]" = OrderedDict()
+
+    def get(self, path: str | Path) -> IndexStore:
+        """The cached store for ``path``, opening (and caching) on miss."""
+        path = Path(path).resolve()
+        try:
+            stat = path.stat()
+        except OSError as exc:
+            raise StoreError(f"cannot read index store {path}: {exc}") from None
+        key = (
+            str(path),
+            stat.st_mtime_ns,
+            stat.st_size,
+            header_prefix_crc(path),
+        )
+        with self._lock:
+            store = self._entries.get(key)
+            if store is not None:
+                self._entries.move_to_end(key)
+                return store
+        # Open outside the lock: mmap setup should not serialise other hits.
+        store = IndexStore.open(path)
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None:
+                self._entries.move_to_end(key)
+                return existing
+            self._entries[key] = store
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        return store
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+#: Process-wide cache used by path-based service construction and by
+#: spawn-pool workers reopening the parent's store.
+_DEFAULT_CACHE = StoreCache()
+
+
+def default_store_cache() -> StoreCache:
+    """The process-wide :class:`StoreCache`."""
+    return _DEFAULT_CACHE

@@ -1,0 +1,291 @@
+"""The on-disk index-store format (schema as contract).
+
+A store file is a self-describing container of raw numpy arrays::
+
+    [0:8)    magic              b"REPROIDX"
+    [8:12)   format version     uint32 little-endian
+    [12:16)  header length L    uint32 little-endian
+    [16:20)  header CRC-32      uint32 little-endian (of the JSON bytes)
+    [20:20+L) header            canonical JSON, UTF-8
+    ...      zero padding to the 64-byte-aligned *data start*
+    ...      array blobs, each 64-byte aligned, in header table order
+    [-4:]    file CRC-32        uint32 little-endian (of everything before it)
+
+The header JSON carries three top-level keys:
+
+``fingerprint``
+    What the arrays were built *from*: alphabet name + characters, the
+    ``(sa, sb, sg, ss)`` scoring scheme, FM-index parameters ``occ_block`` /
+    ``sa_sample`` and the domination prefix length ``q``.  Opening a store
+    under a different alphabet or scheme is a hard error, never a silent
+    wrong answer.
+``database``
+    Record count and total text length, for ``repro index info``.
+``arrays``
+    One entry per blob: ``name``, numpy ``dtype`` string, ``shape``,
+    ``offset`` (relative to the data start, so the header can be rewritten
+    without shifting blobs), ``nbytes`` and ``crc32``.
+
+Array offsets being *relative* keeps the header self-consistent in a single
+pass: the absolute data start is derived from the header length at read
+time.  Every byte of the file is covered by a checksum — the header by the
+header CRC, each blob by its table CRC, padding and trailer by the whole-file
+CRC — so :func:`verify_file` detects any single flipped byte.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import StoreError
+
+#: File magic: 8 bytes, never reused across incompatible layouts.
+MAGIC = b"REPROIDX"
+
+#: Bumped on any change to the layout or header schema.
+FORMAT_VERSION = 1
+
+#: Blob alignment: one cache line, and a divisor of every page size numpy's
+#: memmap cares about, so typed views never straddle an element boundary.
+ALIGNMENT = 64
+
+_PREFIX = struct.Struct("<8sIII")  # magic, version, header length, header crc
+
+#: dtypes a store may carry (little-endian / endian-free only, so a file
+#: written on any supported platform reads back identically).
+ALLOWED_DTYPES = {"|u1", "<i8"}
+
+
+def _align_up(offset: int) -> int:
+    return (offset + ALIGNMENT - 1) // ALIGNMENT * ALIGNMENT
+
+
+def _canonical_json(header: dict) -> bytes:
+    return json.dumps(header, sort_keys=True, separators=(",", ":")).encode(
+        "utf-8"
+    )
+
+
+def normalize_array(name: str, array: np.ndarray) -> np.ndarray:
+    """Coerce ``array`` to a contiguous little-endian array of an allowed dtype."""
+    array = np.ascontiguousarray(array)
+    if array.dtype == np.uint8:
+        pass
+    elif array.dtype.kind in "iu":
+        array = array.astype("<i8", copy=False)
+    else:
+        raise StoreError(
+            f"array {name!r} has unsupported dtype {array.dtype.str!r}"
+        )
+    if array.dtype.str not in ALLOWED_DTYPES:
+        array = array.astype(array.dtype.newbyteorder("<"))
+    return array
+
+
+def write_store(
+    path: str | Path, header: dict, arrays: "dict[str, np.ndarray]"
+) -> Path:
+    """Serialize ``arrays`` under ``header`` to ``path`` (atomic via rename)."""
+    path = Path(path)
+    normalized = {
+        name: normalize_array(name, array) for name, array in arrays.items()
+    }
+    table = []
+    rel = 0
+    for name, array in normalized.items():
+        rel = _align_up(rel)
+        table.append(
+            {
+                "name": name,
+                "dtype": array.dtype.str,
+                "shape": list(array.shape),
+                "offset": rel,
+                "nbytes": int(array.nbytes),
+                # Contiguous arrays expose the buffer protocol, so the CRC
+                # (and the write below) consume them without a bytes copy.
+                "crc32": zlib.crc32(array),
+            }
+        )
+        rel += array.nbytes
+    full_header = dict(header)
+    full_header["arrays"] = table
+    blob = _canonical_json(full_header)
+    prefix = _PREFIX.pack(MAGIC, FORMAT_VERSION, len(blob), zlib.crc32(blob))
+    data_start = _align_up(len(prefix) + len(blob))
+
+    tmp = path.with_name(path.name + ".tmp")
+    file_crc = 0
+    with open(tmp, "wb") as handle:
+
+        def emit(chunk) -> None:  # bytes or any C-contiguous buffer
+            nonlocal file_crc
+            file_crc = zlib.crc32(chunk, file_crc)
+            handle.write(chunk)
+
+        emit(prefix)
+        emit(blob)
+        emit(b"\x00" * (data_start - len(prefix) - len(blob)))
+        written = 0
+        for spec in table:
+            emit(b"\x00" * (spec["offset"] - written))
+            emit(normalized[spec["name"]])
+            written = spec["offset"] + spec["nbytes"]
+        handle.write(struct.pack("<I", file_crc))
+    tmp.replace(path)
+    return path
+
+
+def read_header(path: str | Path) -> tuple[dict, int]:
+    """Validate and parse the header; return ``(header, data_start)``.
+
+    Raises :class:`StoreError` on bad magic, version skew, header corruption
+    (CRC mismatch) or a file too small to hold its own array table.
+    """
+    path = Path(path)
+    try:
+        size = path.stat().st_size
+        with open(path, "rb") as handle:
+            prefix = handle.read(_PREFIX.size)
+            if len(prefix) < _PREFIX.size:
+                raise StoreError(f"{path}: truncated (no header)")
+            magic, version, header_len, header_crc = _PREFIX.unpack(prefix)
+            if magic != MAGIC:
+                raise StoreError(f"{path}: not an index store (bad magic)")
+            if version != FORMAT_VERSION:
+                raise StoreError(
+                    f"{path}: format version {version} != supported "
+                    f"{FORMAT_VERSION}; rebuild with `repro index build`"
+                )
+            blob = handle.read(header_len)
+    except OSError as exc:
+        raise StoreError(f"cannot read index store {path}: {exc}") from None
+    if len(blob) < header_len:
+        raise StoreError(f"{path}: truncated header")
+    if zlib.crc32(blob) != header_crc:
+        raise StoreError(f"{path}: header checksum mismatch (corrupt header)")
+    try:
+        header = json.loads(blob.decode("utf-8"))
+    except ValueError:
+        raise StoreError(f"{path}: header is not valid JSON") from None
+    data_start = _align_up(_PREFIX.size + header_len)
+    for spec in header.get("arrays", []):
+        if spec["dtype"] not in ALLOWED_DTYPES:
+            raise StoreError(
+                f"{path}: array {spec['name']!r} has disallowed dtype "
+                f"{spec['dtype']!r}"
+            )
+        expected = int(np.prod(spec["shape"], dtype=np.int64)) * np.dtype(
+            spec["dtype"]
+        ).itemsize
+        if expected != spec["nbytes"]:
+            raise StoreError(
+                f"{path}: array {spec['name']!r} shape/nbytes disagree"
+            )
+        if data_start + spec["offset"] + spec["nbytes"] > size - 4:
+            raise StoreError(
+                f"{path}: truncated (array {spec['name']!r} extends past "
+                f"end of file)"
+            )
+    return header, data_start
+
+
+def map_array(path: Path, data_start: int, spec: dict) -> np.ndarray:
+    """Memory-map one array blob read-only (zero-copy)."""
+    shape = tuple(spec["shape"])
+    if spec["nbytes"] == 0:
+        return np.empty(shape, dtype=np.dtype(spec["dtype"]))
+    return np.memmap(
+        path,
+        mode="r",
+        dtype=np.dtype(spec["dtype"]),
+        shape=shape,
+        offset=data_start + spec["offset"],
+    )
+
+
+_VERIFY_CHUNK = 1 << 20
+
+
+def header_prefix_crc(path: str | Path) -> int:
+    """The header CRC-32 stored in the fixed prefix (one 20-byte read).
+
+    Covers the whole header JSON — fingerprint included — so it changes
+    whenever a store is rebuilt with different parameters, making it a
+    cheap content discriminator for cache keys.
+    """
+    path = Path(path)
+    try:
+        with open(path, "rb") as handle:
+            prefix = handle.read(_PREFIX.size)
+    except OSError as exc:
+        raise StoreError(f"cannot read index store {path}: {exc}") from None
+    if len(prefix) < _PREFIX.size:
+        raise StoreError(f"{path}: truncated (no header)")
+    magic, _version, _header_len, header_crc = _PREFIX.unpack(prefix)
+    if magic != MAGIC:
+        raise StoreError(f"{path}: not an index store (bad magic)")
+    return header_crc
+
+
+def verify_file(path: str | Path) -> list[str]:
+    """Recompute every checksum; return problems (empty = intact).
+
+    One streamed pass in O(1) memory: array blobs are contiguous and in
+    table order, so the whole-file CRC and every per-array CRC accumulate
+    from the same chunks.
+    """
+    path = Path(path)
+    problems: list[str] = []
+    try:
+        header, data_start = read_header(path)
+    except StoreError as exc:
+        return [str(exc)]
+    size = path.stat().st_size
+    if size < data_start + 4:
+        return [f"{path}: truncated before data section"]
+    # (start, end, spec) regions sorted by offset; read_header bounds-checked
+    # them against the file size already.
+    regions = sorted(
+        (
+            (data_start + spec["offset"],
+             data_start + spec["offset"] + spec["nbytes"],
+             spec)
+            for spec in header.get("arrays", [])
+        ),
+        key=lambda region: region[0],
+    )
+    with open(path, "rb") as handle:
+        handle.seek(size - 4)
+        stored_crc = struct.unpack("<I", handle.read(4))[0]
+        handle.seek(0)
+        file_crc = 0
+        array_crcs = [0] * len(regions)
+        position = 0
+        body = size - 4
+        while position < body:
+            chunk = handle.read(min(_VERIFY_CHUNK, body - position))
+            if not chunk:
+                return problems + [f"{path}: truncated before data section"]
+            file_crc = zlib.crc32(chunk, file_crc)
+            chunk_end = position + len(chunk)
+            for i, (start, end, _spec) in enumerate(regions):
+                if end <= position or start >= chunk_end:
+                    continue
+                lo, hi = max(start, position), min(end, chunk_end)
+                array_crcs[i] = zlib.crc32(
+                    chunk[lo - position : hi - position], array_crcs[i]
+                )
+            position = chunk_end
+        if file_crc != stored_crc:
+            problems.append(f"{path}: whole-file checksum mismatch")
+        for crc, (_start, _end, spec) in zip(array_crcs, regions):
+            if crc != spec["crc32"]:
+                problems.append(
+                    f"array {spec['name']!r}: checksum mismatch"
+                )
+    return problems
