@@ -31,15 +31,35 @@ from repro.blast import Blast
 from repro.core import ALAE, entry_bound, paper_bound_extremes
 from repro.data import genome, mutate, sample_homologous_queries
 from repro.errors import ReproError
-from repro.io import SequenceDatabase, parse_fasta, parse_fasta_file, write_fasta
+from repro.io import (
+    LocatedHit,
+    SequenceDatabase,
+    ShardPlan,
+    parse_fasta,
+    parse_fasta_file,
+    write_fasta,
+)
 from repro.scoring import (
     BLAST_DNA_SCHEMES,
     DEFAULT_SCHEME,
     KarlinAltschul,
     ScoringScheme,
 )
-from repro.service import BatchReport, Query, QueryResult, SearchService
-from repro.store import IndexStore, StoreCache, StoreError, default_store_cache
+from repro.service import (
+    BatchReport,
+    Query,
+    QueryResult,
+    SearchService,
+    ShardedBatchReport,
+    ShardedSearchService,
+)
+from repro.store import (
+    IndexStore,
+    ShardedStore,
+    StoreCache,
+    StoreError,
+    default_store_cache,
+)
 from repro.workloads import Workload, make_workload
 
 __version__ = "1.0.0"
@@ -67,11 +87,16 @@ __all__ = [
     "entry_bound",
     "paper_bound_extremes",
     "SequenceDatabase",
+    "ShardPlan",
+    "LocatedHit",
     "SearchService",
+    "ShardedSearchService",
     "Query",
     "QueryResult",
     "BatchReport",
+    "ShardedBatchReport",
     "IndexStore",
+    "ShardedStore",
     "StoreCache",
     "StoreError",
     "default_store_cache",

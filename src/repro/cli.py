@@ -11,9 +11,13 @@ search-db
     attributed hits as each query completes.
 index build / info / verify
     Build a persistent index store from a database FASTA, inspect its
-    header, or re-verify its checksums.  ``search`` / ``search-db`` accept
-    ``--index PATH`` to serve from a prebuilt store instead of rebuilding
-    the indexes (the build-once / serve-many workflow).
+    header, or re-verify its checksums.  ``--shards K`` partitions the
+    database into K balanced shards — one store per shard plus a
+    checksummed manifest — built in parallel with ``--build-workers``.
+    ``search`` / ``search-db`` accept ``--index PATH`` pointing at either
+    a single store or a shard manifest; sharded serving fans each query
+    across every shard and merges results bit-identically to the
+    unsharded path (the build-once / serve-many workflow).
 analyze
     Print the Section 6 entry-bound table for an alphabet size.
 generate
@@ -40,8 +44,8 @@ from repro.errors import ReproError, ScoringError
 from repro.io.database import SequenceDatabase
 from repro.io.fasta import FastaRecord, parse_fasta_file
 from repro.scoring.scheme import DEFAULT_SCHEME, blast_scheme_grid
-from repro.service import SERVICE_ENGINES, SearchService
-from repro.store import IndexStore
+from repro.service import SERVICE_ENGINES, SearchService, ShardedSearchService
+from repro.store import IndexStore, ShardedStore, is_manifest
 from repro.store.format import read_header as read_store_header
 
 ALPHABETS = {"dna": DNA, "protein": PROTEIN}
@@ -82,15 +86,29 @@ def _parse_scheme(value: str) -> ScoringScheme:
 
 def _make_service(
     args: argparse.Namespace, database: SequenceDatabase | None
-) -> SearchService:
+) -> "SearchService | ShardedSearchService":
     """A service over ``database`` or over ``--index`` (exactly one is set).
 
-    ``--alphabet`` / ``--scheme`` stay ``None`` unless given on the command
-    line, so an indexed service adopts the store's fingerprint and an
-    explicit flag that contradicts it is rejected instead of silently
-    ignored.
+    ``--index`` accepts a single-store file or a shard manifest — the first
+    bytes decide, so callers never name the layout.  ``--alphabet`` /
+    ``--scheme`` stay ``None`` unless given on the command line, so an
+    indexed service adopts the store's fingerprint and an explicit flag
+    that contradicts it is rejected instead of silently ignored.
     """
     alphabet = ALPHABETS[args.alphabet] if args.alphabet else None
+    if args.index is not None and is_manifest(args.index):
+        if args.engine != "alae":
+            raise ReproError(
+                "a sharded index holds ALAE indexes; other engines need a "
+                "database to build from"
+            )
+        return ShardedSearchService(
+            args.index,
+            alphabet=alphabet,
+            scheme=args.scheme,
+            workers=args.workers,
+            executor=args.executor,
+        )
     return SearchService(
         database,
         store=args.index,
@@ -103,7 +121,9 @@ def _make_service(
 
 
 def _run_batch(
-    service: SearchService, queries: list[FastaRecord], args: argparse.Namespace
+    service: "SearchService | ShardedSearchService",
+    queries: list[FastaRecord],
+    args: argparse.Namespace,
 ) -> int:
     """Stream a batch through the service, printing attributed hits."""
     kwargs = (
@@ -187,11 +207,17 @@ def cmd_search_db(args: argparse.Namespace) -> int:
         if args.index is None
         else f"index={Path(args.index).name}"
     )
-    print(
-        f"# {source} sequences={len(service.database)} "
-        f"total={service.database.total_length} queries={len(queries)}",
-        file=sys.stderr,
-    )
+    if isinstance(service, ShardedSearchService):
+        shape = (
+            f"sequences={service.record_count} total={service.total_length} "
+            f"shards={service.shard_count}"
+        )
+    else:
+        shape = (
+            f"sequences={len(service.database)} "
+            f"total={service.database.total_length}"
+        )
+    print(f"# {source} {shape} queries={len(queries)}", file=sys.stderr)
     return _run_batch(service, queries, args)
 
 
@@ -209,6 +235,30 @@ def cmd_index_build(args: argparse.Namespace) -> int:
             return 2
         out = f"{args.database}.idx"
     database = _load_database(args.database)
+    if args.shards > 1:
+        sharded = ShardedStore.build(
+            database,
+            out,
+            shards=args.shards,
+            alphabet=ALPHABETS[args.alphabet],
+            scheme=args.scheme or DEFAULT_SCHEME,
+            occ_block=args.occ_block,
+            sa_sample=args.sa_sample,
+            build_workers=args.build_workers,
+        )
+        total_bytes = sum(
+            sharded.shard_path(i).stat().st_size
+            for i in range(sharded.shard_count)
+        )
+        lengths = "/".join(str(n) for n in sharded.shard_lengths())
+        print(
+            f"wrote {sharded.path} + {sharded.shard_count} shard stores "
+            f"({total_bytes:,} bytes, {len(database)} sequences, "
+            f"{database.total_length:,} chars, shard lengths {lengths}, "
+            f"fingerprint {sharded.fingerprint_key})",
+            file=sys.stderr,
+        )
+        return 0
     store = IndexStore.build(
         database,
         alphabet=ALPHABETS[args.alphabet],
@@ -227,6 +277,20 @@ def cmd_index_build(args: argparse.Namespace) -> int:
 
 
 def cmd_index_info(args: argparse.Namespace) -> int:
+    if is_manifest(args.path):
+        sharded = ShardedStore.open(args.path)
+        print(f"# {args.path} (sharded)")
+        print(f"fingerprint\t{sharded.fingerprint_key}")
+        print(f"sequences\t{sharded.record_count}")
+        print(f"total_length\t{sharded.total_length}")
+        print(f"shards\t{sharded.shard_count}")
+        print("# shard\tpath\trecords\tlength\theader_crc")
+        for i, spec in enumerate(sharded.payload["shards"]):
+            print(
+                f"{i}\t{spec['path']}\t{len(spec['records'])}\t"
+                f"{spec['total_length']}\t{spec['header_crc']:08x}"
+            )
+        return 0
     store = IndexStore.open(args.path)
     meta = store.header["database"]
     print(f"# {args.path}")
@@ -244,6 +308,19 @@ def cmd_index_info(args: argparse.Namespace) -> int:
 
 
 def cmd_index_verify(args: argparse.Namespace) -> int:
+    if is_manifest(args.path):
+        problems = ShardedStore.verify(args.path)
+        if problems:
+            for problem in problems:
+                print(f"FAIL: {problem}", file=sys.stderr)
+            return 1
+        sharded = ShardedStore.open(args.path)
+        print(
+            f"OK: {args.path} ({sharded.shard_count} shards, manifest and "
+            f"all shard checksums match)",
+            file=sys.stderr,
+        )
+        return 0
     problems = IndexStore.verify(args.path)
     if problems:
         for problem in problems:
@@ -302,8 +379,9 @@ def _add_search_options(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--index", default=None, metavar="PATH",
-        help="serve from a prebuilt index store (see `repro index build`) "
-        "instead of building indexes from the database argument",
+        help="serve from a prebuilt index store or shard manifest (see "
+        "`repro index build [--shards K]`) instead of building indexes "
+        "from the database argument",
     )
     parser.add_argument("--threshold", type=int, default=None)
     parser.add_argument("--e-value", type=float, default=10.0)
@@ -360,6 +438,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     build.add_argument("--occ-block", type=int, default=128)
     build.add_argument("--sa-sample", type=int, default=16)
+    build.add_argument(
+        "--shards", type=int, default=1, metavar="K",
+        help="partition the database into K balanced shards and write a "
+        "manifest plus one store per shard (default 1: a single store)",
+    )
+    build.add_argument(
+        "--build-workers", type=int, default=1, metavar="N",
+        help="build shard stores in an N-process pool (with --shards)",
+    )
     build.set_defaults(func=cmd_index_build)
 
     info = index_sub.add_parser("info", help="print a store's header")

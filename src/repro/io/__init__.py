@@ -1,12 +1,14 @@
 """Sequence I/O: FASTA parsing/writing and multi-sequence databases."""
 
 from repro.io.fasta import FastaRecord, parse_fasta, parse_fasta_file, write_fasta
-from repro.io.database import SequenceDatabase
+from repro.io.database import LocatedHit, SequenceDatabase, ShardPlan
 
 __all__ = [
     "FastaRecord",
     "parse_fasta",
     "parse_fasta_file",
     "write_fasta",
+    "LocatedHit",
     "SequenceDatabase",
+    "ShardPlan",
 ]

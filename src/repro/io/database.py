@@ -13,6 +13,7 @@ from __future__ import annotations
 import bisect
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Sequence
 
 from repro.align.types import Hit
 from repro.errors import ReproError
@@ -21,13 +22,21 @@ from repro.io.fasta import FastaRecord, parse_fasta_file
 
 @dataclass(frozen=True)
 class LocatedHit:
-    """A hit attributed to one database sequence (local 1-based positions)."""
+    """A hit attributed to one database sequence (local 1-based positions).
+
+    ``t_start == 0`` means the start is unknown (the producing engine did not
+    track it); every known start is >= 1.  ``record_index`` is the position of
+    the sequence within its database, so hits stay attributable even when
+    identifiers repeat — and shard merges can map them back to the original
+    record order.
+    """
 
     sequence_id: str
     t_start: int
     t_end: int
     p_end: int
     score: int
+    record_index: int = 0
 
 
 class SequenceDatabase:
@@ -89,10 +98,21 @@ class SequenceDatabase:
             raise ReproError(
                 f"{len(offsets)} offsets for {len(headers)} headers"
             )
-        if not offsets or offsets[0] != 0 or sorted(offsets) != offsets:
-            raise ReproError("offsets must be sorted and start at 0")
+        if not offsets or offsets[0] != 0:
+            raise ReproError("offsets must start at 0")
+        for prev, cur in zip(offsets, offsets[1:]):
+            if cur <= prev:
+                # A duplicate offset would describe an empty record; say so
+                # here instead of failing later as "empty sequence".
+                raise ReproError(
+                    f"offsets must be strictly increasing "
+                    f"(offset {cur} follows {prev})"
+                )
         if offsets[-1] >= len(text):
-            raise ReproError("last offset lies beyond the text")
+            raise ReproError(
+                f"last offset {offsets[-1]} lies beyond the text "
+                f"(length {len(text)})"
+            )
         db = cls.__new__(cls)
         bounds = offsets + [len(text)]
         db.records = [
@@ -136,27 +156,123 @@ class SequenceDatabase:
         """Attribute a global hit to its sequence.
 
         Returns ``None`` for hits spanning a concatenation boundary (their
-        alignment mixes two database sequences and should be discarded).
+        alignment mixes two database sequences and should be discarded), and
+        for *start-unknown* hits (``t_start == 0``, the sentinel left by
+        engines that do not track starts) that cannot be proven to lie within
+        one record: such a hit ends in record ``r`` but may have started in
+        ``r - 1``, so attributing it by its end record alone could silently
+        report a boundary-spanning alignment.  Only when the hit ends in the
+        *first* record is containment guaranteed (every alignment starts at
+        position >= 1); callers that can re-derive the start — e.g. the
+        service layer's windowed recheck — resolve the rest.
         """
-        start = hit.t_start if hit.t_start else hit.t_end
-        idx_start = self.sequence_at(start)
         idx_end = self.sequence_at(hit.t_end)
-        if idx_start != idx_end:
-            return None
-        offset = self._offsets[idx_end]
+        if hit.t_start == 0:  # sentinel: start not tracked by the engine
+            if idx_end != 0:
+                return None
+            offset = 0
+            start = 0  # still unknown in local coordinates
+        else:
+            if self.sequence_at(hit.t_start) != idx_end:
+                return None
+            offset = self._offsets[idx_end]
+            start = hit.t_start - offset
         return LocatedHit(
             sequence_id=self.records[idx_end].identifier,
-            t_start=start - offset,
+            t_start=start,
             t_end=hit.t_end - offset,
             p_end=hit.p_end,
             score=hit.score,
+            record_index=idx_end,
         )
 
     def locate_hits(self, hits: list[Hit]) -> list[LocatedHit]:
-        """Attribute many hits, silently dropping boundary-spanning ones."""
+        """Attribute many hits, silently dropping the unattributable ones
+        (boundary-spanning, or start-unknown beyond the first record)."""
         located = []
         for hit in hits:
             placed = self.locate_hit(hit)
             if placed is not None:
                 located.append(placed)
         return located
+
+    # ------------------------------------------------------ partitioning
+    def record_lengths(self) -> list[int]:
+        """Length of every record, in concatenation order."""
+        return [len(record.sequence) for record in self.records]
+
+    def subset(self, indices: "Sequence[int]") -> "SequenceDatabase":
+        """A new database over the records at ``indices``, in that order.
+
+        The record-range view behind sharding: each shard is a
+        ``subset(...)`` of the full database, re-concatenated so it carries
+        its own offset table.
+        """
+        try:
+            records = [self.records[i] for i in indices]
+        except IndexError:
+            raise ReproError(
+                f"record index out of range (database has "
+                f"{len(self.records)} records)"
+            ) from None
+        return SequenceDatabase(records)
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A partition of a database's records into K non-empty shards.
+
+    ``assignments[k]`` lists the *original* record indices served by shard
+    ``k``, ascending, so every record keeps its identity across the split
+    and shard-local results can be mapped back to the original order.
+    Built with :meth:`balanced` — greedy bin-packing on sequence length
+    (longest first, into the least-loaded shard), which never splits a
+    record and keeps shard text sizes within one longest-record of each
+    other for typical collections.
+    """
+
+    assignments: tuple[tuple[int, ...], ...]
+
+    @classmethod
+    def balanced(
+        cls, database: "SequenceDatabase", shards: int
+    ) -> "ShardPlan":
+        """Partition ``database`` into ``min(shards, len(database))`` bins."""
+        if shards < 1:
+            raise ReproError(f"shard count must be >= 1, got {shards}")
+        lengths = database.record_lengths()
+        k = min(shards, len(lengths))
+        loads = [0] * k
+        bins: list[list[int]] = [[] for _ in range(k)]
+        order = sorted(range(len(lengths)), key=lambda i: (-lengths[i], i))
+        for idx in order:
+            target = min(range(k), key=lambda j: (loads[j], j))
+            bins[target].append(idx)
+            loads[target] += lengths[idx]
+        for assigned in bins:
+            assigned.sort()
+        return cls(tuple(tuple(assigned) for assigned in bins))
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.assignments)
+
+    def shard_of(self, record_index: int) -> int:
+        """The shard serving one original record index."""
+        for shard, assigned in enumerate(self.assignments):
+            if record_index in assigned:
+                return shard
+        raise ReproError(f"record {record_index} is not in this plan")
+
+    def shard_database(
+        self, database: "SequenceDatabase", shard: int
+    ) -> "SequenceDatabase":
+        """The record-range view of one shard as its own database."""
+        return database.subset(self.assignments[shard])
+
+    def shard_lengths(self, database: "SequenceDatabase") -> list[int]:
+        """Total text length per shard (the bin-packing loads)."""
+        lengths = database.record_lengths()
+        return [
+            sum(lengths[i] for i in assigned) for assigned in self.assignments
+        ]

@@ -7,7 +7,9 @@ from repro.service.service import (
     QueryResult,
     SearchService,
     ServiceError,
+    normalize_queries,
 )
+from repro.service.sharded import ShardedBatchReport, ShardedSearchService
 
 __all__ = [
     "SERVICE_ENGINES",
@@ -16,4 +18,7 @@ __all__ = [
     "QueryResult",
     "SearchService",
     "ServiceError",
+    "ShardedBatchReport",
+    "ShardedSearchService",
+    "normalize_queries",
 ]

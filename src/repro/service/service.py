@@ -144,6 +144,37 @@ class Query:
     sequence: str
 
 
+def normalize_queries(queries: Iterable) -> list[Query]:
+    """Coerce a batch input into named :class:`Query` objects.
+
+    Shared by every serving front (:class:`SearchService`, the sharded
+    service): accepts a bare sequence string, a :class:`Query`, a
+    :class:`FastaRecord`, an ``(id, sequence)`` tuple, or any iterable of
+    those.
+    """
+    if isinstance(queries, (str, Query, FastaRecord)):
+        # A bare sequence is one query, not an iterable of characters.
+        queries = [queries]
+    normalized: list[Query] = []
+    for i, item in enumerate(queries, start=1):
+        if isinstance(item, Query):
+            normalized.append(item)
+        elif isinstance(item, FastaRecord):
+            normalized.append(Query(item.identifier, item.sequence))
+        elif isinstance(item, str):
+            normalized.append(Query(f"q{i}", item.upper()))
+        elif isinstance(item, tuple) and len(item) == 2:
+            normalized.append(Query(str(item[0]), str(item[1]).upper()))
+        else:
+            raise ServiceError(
+                f"query #{i} must be a str, (id, seq) tuple, Query or "
+                f"FastaRecord, got {type(item).__name__}"
+            )
+    if not normalized:
+        raise ServiceError("batch needs at least one query")
+    return normalized
+
+
 @dataclass
 class QueryResult:
     """Attributed hits of one query against the whole database.
@@ -390,27 +421,7 @@ class SearchService:
         return executor
 
     def _normalize_queries(self, queries: Iterable) -> list[Query]:
-        if isinstance(queries, (str, Query, FastaRecord)):
-            # A bare sequence is one query, not an iterable of characters.
-            queries = [queries]
-        normalized: list[Query] = []
-        for i, item in enumerate(queries, start=1):
-            if isinstance(item, Query):
-                normalized.append(item)
-            elif isinstance(item, FastaRecord):
-                normalized.append(Query(item.identifier, item.sequence))
-            elif isinstance(item, str):
-                normalized.append(Query(f"q{i}", item.upper()))
-            elif isinstance(item, tuple) and len(item) == 2:
-                normalized.append(Query(str(item[0]), str(item[1]).upper()))
-            else:
-                raise ServiceError(
-                    f"query #{i} must be a str, (id, seq) tuple, Query or "
-                    f"FastaRecord, got {type(item).__name__}"
-                )
-        if not normalized:
-            raise ServiceError("batch needs at least one query")
-        return normalized
+        return normalize_queries(queries)
 
     def _search_one(
         self, query: Query, threshold: int | None, e_value: float | None
@@ -490,6 +501,7 @@ class SearchService:
                         t_end=local_end,
                         p_end=hit.p_end,
                         score=score,
+                        record_index=idx,
                     ),
                 )
             )

@@ -10,15 +10,29 @@ requiring fork.
 from repro.errors import StoreError
 from repro.store.cache import StoreCache, default_store_cache
 from repro.store.format import ALIGNMENT, FORMAT_VERSION, MAGIC
+from repro.store.sharded import (
+    MANIFEST_MAGIC,
+    MANIFEST_VERSION,
+    ShardedStore,
+    is_manifest,
+    read_manifest,
+    write_manifest,
+)
 from repro.store.store import IndexStore, fingerprint_key
 
 __all__ = [
     "IndexStore",
+    "ShardedStore",
     "StoreCache",
     "StoreError",
     "default_store_cache",
     "fingerprint_key",
+    "is_manifest",
+    "read_manifest",
+    "write_manifest",
     "MAGIC",
+    "MANIFEST_MAGIC",
+    "MANIFEST_VERSION",
     "FORMAT_VERSION",
     "ALIGNMENT",
 ]

@@ -61,6 +61,13 @@ class StoreCache:
             if existing is not None:
                 self._entries.move_to_end(key)
                 return existing
+            # The new key invalidates every older entry for the same path:
+            # they describe file contents that no longer exist (an in-place
+            # rebuild — caught by the header CRC even when a same-second
+            # rewrite leaves mtime and size unchanged), so keeping them
+            # would only pin dead mmaps and crowd out live stores.
+            for stale in [k for k in self._entries if k[0] == key[0]]:
+                del self._entries[stale]
             self._entries[key] = store
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)

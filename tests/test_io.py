@@ -4,7 +4,7 @@ import pytest
 
 from repro.align.types import Hit
 from repro.errors import ReproError
-from repro.io.database import SequenceDatabase
+from repro.io.database import SequenceDatabase, ShardPlan
 from repro.io.fasta import (
     FastaError,
     FastaRecord,
@@ -137,3 +137,167 @@ class TestSequenceDatabase:
         assert db.text == "ACGT"
         assert db.identifiers == ["solo"]
         assert db.boundaries() == [0]
+
+
+class TestBoundaryAttribution:
+    """locate_hit edge cases: record edges, sentinels, single records."""
+
+    def _db(self):
+        return SequenceDatabase(
+            [
+                FastaRecord("s1", "AAAA"),
+                FastaRecord("s2", "CCCCCC"),
+                FastaRecord("s3", "GG"),
+            ]
+        )
+
+    def test_hit_ending_at_record_first_position(self):
+        db = self._db()
+        # Global position 5 is s2's first character.
+        located = db.locate_hit(Hit(t_end=5, p_end=1, score=1, t_start=5))
+        assert located.sequence_id == "s2"
+        assert (located.t_start, located.t_end) == (1, 1)
+        assert located.record_index == 1
+
+    def test_hit_ending_at_record_last_position(self):
+        db = self._db()
+        # Global position 10 is s2's last character; 12 is s3's (and the
+        # database's) last.
+        located = db.locate_hit(Hit(t_end=10, p_end=4, score=4, t_start=7))
+        assert located.sequence_id == "s2"
+        assert (located.t_start, located.t_end) == (3, 6)
+        last = db.locate_hit(Hit(t_end=12, p_end=2, score=2, t_start=11))
+        assert last.sequence_id == "s3"
+        assert (last.t_start, last.t_end) == (1, 2)
+        assert last.record_index == 2
+
+    def test_hit_spanning_into_record_start_dropped(self):
+        db = self._db()
+        # Starts on s1's last char, ends on s2's first: a boundary artifact.
+        assert db.locate_hit(Hit(t_end=5, p_end=2, score=2, t_start=4)) is None
+
+    def test_start_unknown_in_first_record_attributed(self):
+        db = self._db()
+        # t_start == 0 is the "engine did not track starts" sentinel.  A hit
+        # ending in the first record provably cannot span a boundary.
+        located = db.locate_hit(Hit(t_end=3, p_end=3, score=3, t_start=0))
+        assert located.sequence_id == "s1"
+        assert located.t_start == 0  # still unknown, never fabricated
+        assert located.t_end == 3
+
+    def test_start_unknown_beyond_first_record_rejected(self):
+        db = self._db()
+        # The regression this guards: t_start == 0 is falsy, so the old code
+        # attributed such hits by their end record alone — even when the
+        # alignment may have started in the previous record.
+        assert db.locate_hit(Hit(t_end=6, p_end=4, score=4, t_start=0)) is None
+        assert db.locate_hit(Hit(t_end=11, p_end=4, score=4, t_start=0)) is None
+
+    def test_start_unknown_single_record_database(self):
+        db = SequenceDatabase([FastaRecord("solo", "ACGTACGT")])
+        located = db.locate_hit(Hit(t_end=8, p_end=5, score=5, t_start=0))
+        assert located.sequence_id == "solo"
+        assert located.t_end == 8
+        assert located.record_index == 0
+
+    def test_single_record_database_known_start(self):
+        db = SequenceDatabase([FastaRecord("solo", "ACGTACGT")])
+        located = db.locate_hit(Hit(t_end=6, p_end=4, score=4, t_start=3))
+        assert (located.t_start, located.t_end) == (3, 6)
+
+    def test_locate_hits_drops_unattributable(self):
+        db = self._db()
+        hits = [
+            Hit(t_end=3, p_end=3, score=3, t_start=1),   # within s1
+            Hit(t_end=6, p_end=4, score=4, t_start=0),   # unknown start, s2
+            Hit(t_end=5, p_end=2, score=2, t_start=4),   # spans s1|s2
+        ]
+        located = db.locate_hits(hits)
+        assert [h.sequence_id for h in located] == ["s1"]
+
+
+class TestFromConcatenatedValidation:
+    def test_duplicate_offsets_rejected_up_front(self):
+        with pytest.raises(ReproError, match="strictly increasing"):
+            SequenceDatabase.from_concatenated(
+                "AAAACC", [0, 4, 4], ["a", "b", "c"]
+            )
+
+    def test_decreasing_offsets_rejected(self):
+        with pytest.raises(ReproError, match="strictly increasing"):
+            SequenceDatabase.from_concatenated(
+                "AAAACC", [0, 4, 2], ["a", "b", "c"]
+            )
+
+    def test_last_offset_beyond_text_names_the_value(self):
+        with pytest.raises(ReproError, match=r"offset 9.*length 6"):
+            SequenceDatabase.from_concatenated("AAAACC", [0, 9], ["a", "b"])
+
+    def test_offsets_must_start_at_zero(self):
+        with pytest.raises(ReproError, match="start at 0"):
+            SequenceDatabase.from_concatenated("AAAACC", [1, 4], ["a", "b"])
+
+    def test_valid_round_trip_still_works(self):
+        db = SequenceDatabase.from_concatenated(
+            "AAAACCCCCCGG", [0, 4, 10], ["s1", "s2", "s3"]
+        )
+        assert [r.sequence for r in db.records] == ["AAAA", "CCCCCC", "GG"]
+
+
+class TestShardPlan:
+    def _db(self, lengths):
+        return SequenceDatabase(
+            [
+                FastaRecord(f"r{i}", "A" * n)
+                for i, n in enumerate(lengths)
+            ]
+        )
+
+    def test_partition_is_exact_and_nonempty(self):
+        db = self._db([70, 10, 40, 30, 20, 60])
+        plan = ShardPlan.balanced(db, 3)
+        assert plan.shard_count == 3
+        seen = sorted(i for assigned in plan.assignments for i in assigned)
+        assert seen == list(range(6))
+        assert all(assigned for assigned in plan.assignments)
+
+    def test_greedy_balance(self):
+        db = self._db([70, 10, 40, 30, 20, 60])
+        plan = ShardPlan.balanced(db, 3)
+        loads = plan.shard_lengths(db)
+        # Greedy longest-first bin packing: 70 | 60+10 | 40+30-ish.
+        assert max(loads) - min(loads) <= 70
+        assert sum(loads) == 230
+
+    def test_k_clamped_to_record_count(self):
+        db = self._db([5, 5])
+        plan = ShardPlan.balanced(db, 8)
+        assert plan.shard_count == 2
+
+    def test_k_one_preserves_order(self):
+        db = self._db([5, 9, 3])
+        plan = ShardPlan.balanced(db, 1)
+        assert plan.assignments == ((0, 1, 2),)
+        assert plan.shard_database(db, 0).text == db.text
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ReproError, match="shard count"):
+            ShardPlan.balanced(self._db([5]), 0)
+
+    def test_shard_of_and_database_views(self):
+        db = self._db([70, 10, 40])
+        plan = ShardPlan.balanced(db, 2)
+        for shard, assigned in enumerate(plan.assignments):
+            for index in assigned:
+                assert plan.shard_of(index) == shard
+            view = plan.shard_database(db, shard)
+            assert [r.identifier for r in view.records] == [
+                f"r{i}" for i in assigned
+            ]
+
+    def test_subset_out_of_range(self):
+        with pytest.raises(ReproError, match="out of range"):
+            self._db([4, 4]).subset([0, 5])
+
+    def test_record_lengths(self):
+        assert self._db([4, 7]).record_lengths() == [4, 7]
