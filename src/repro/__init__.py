@@ -45,6 +45,13 @@ from repro.scoring import (
     KarlinAltschul,
     ScoringScheme,
 )
+from repro.server import (
+    SearchServer,
+    ServedBatch,
+    ServedResult,
+    ServerClient,
+    ServerThread,
+)
 from repro.service import (
     BatchReport,
     Query,
@@ -95,6 +102,11 @@ __all__ = [
     "QueryResult",
     "BatchReport",
     "ShardedBatchReport",
+    "SearchServer",
+    "ServerClient",
+    "ServerThread",
+    "ServedBatch",
+    "ServedResult",
     "IndexStore",
     "ShardedStore",
     "StoreCache",

@@ -9,6 +9,11 @@ search
 search-db
     Batch-search a FASTA query set against a FASTA database, streaming
     attributed hits as each query completes.
+serve / query
+    Keep an index resident behind a TCP socket (``serve``: asyncio server
+    with micro-batching, admission control, a result cache and hot index
+    reload) and talk to it (``query``: same output format as ``search-db``,
+    so served and offline runs byte-diff clean).
 index build / info / verify
     Build a persistent index store from a database FASTA, inspect its
     header, or re-verify its checksums.  ``--shards K`` partitions the
@@ -31,6 +36,9 @@ spanning a concatenation boundary are dropped instead of reported.
 from __future__ import annotations
 
 import argparse
+import asyncio
+import json
+import signal
 import sys
 import time
 from pathlib import Path
@@ -44,6 +52,7 @@ from repro.errors import ReproError, ScoringError
 from repro.io.database import SequenceDatabase
 from repro.io.fasta import FastaRecord, parse_fasta_file
 from repro.scoring.scheme import DEFAULT_SCHEME, blast_scheme_grid
+from repro.server import SearchServer, ServerClient, wait_until_ready
 from repro.service import SERVICE_ENGINES, SearchService, ShardedSearchService
 from repro.store import IndexStore, ShardedStore, is_manifest
 from repro.store.format import read_header as read_store_header
@@ -120,36 +129,56 @@ def _make_service(
     )
 
 
+def _hit_header() -> None:
+    print("# query\tsequence\tt_start\tt_end\tp_end\tscore")
+
+
+def _print_result(
+    query_id: str, engine: str, threshold: int, hits, dropped: int, limit: int
+) -> None:
+    """One query's hit block — shared by ``search-db`` and ``query`` so a
+    served run byte-diffs clean against the offline run of the same index."""
+    print(
+        f"# query={query_id} engine={engine} H={threshold} "
+        f"hits={len(hits)} dropped={dropped}"
+    )
+    for hit in hits[:limit]:
+        print(
+            f"{query_id}\t{hit.sequence_id}\t{hit.t_start}\t"
+            f"{hit.t_end}\t{hit.p_end}\t{hit.score}"
+        )
+
+
+def _search_kwargs(args: argparse.Namespace) -> dict:
+    kwargs = (
+        {"threshold": args.threshold}
+        if args.threshold is not None
+        else {"e_value": args.e_value}
+    )
+    if args.top_k is not None:
+        kwargs["top_k"] = args.top_k
+    return kwargs
+
+
 def _run_batch(
     service: "SearchService | ShardedSearchService",
     queries: list[FastaRecord],
     args: argparse.Namespace,
 ) -> int:
     """Stream a batch through the service, printing attributed hits."""
-    kwargs = (
-        {"threshold": args.threshold}
-        if args.threshold is not None
-        else {"e_value": args.e_value}
-    )
-    print("# query\tsequence\tt_start\tt_end\tp_end\tscore")
+    _hit_header()
     total_hits = dropped = count = 0
     stats = SearchStats()
     started = time.perf_counter()
-    for result in service.iter_results(queries, **kwargs):
+    for result in service.iter_results(queries, **_search_kwargs(args)):
         count += 1
         total_hits += len(result.hits)
         dropped += result.dropped_boundary
         stats.merge(result.stats)
-        print(
-            f"# query={result.query_id} engine={args.engine} "
-            f"H={result.threshold} hits={len(result.hits)} "
-            f"dropped={result.dropped_boundary}"
+        _print_result(
+            result.query_id, args.engine, result.threshold, result.hits,
+            result.dropped_boundary, args.limit,
         )
-        for hit in result.hits[: args.limit]:
-            print(
-                f"{result.query_id}\t{hit.sequence_id}\t{hit.t_start}\t"
-                f"{hit.t_end}\t{hit.p_end}\t{hit.score}"
-            )
     wall = time.perf_counter() - started
     print(
         f"# queries={count} hits={total_hits} dropped={dropped} "
@@ -219,6 +248,100 @@ def cmd_search_db(args: argparse.Namespace) -> int:
         )
     print(f"# {source} {shape} queries={len(queries)}", file=sys.stderr)
     return _run_batch(service, queries, args)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    index = Path(args.index)
+    if not index.exists():
+        print(f"error: index {index} does not exist", file=sys.stderr)
+        return 2
+    if is_manifest(index) and not args.shards_ok:
+        print(
+            f"error: {index} is a shard manifest; serving it keeps every "
+            f"shard engine resident in this process — pass --shards-ok to "
+            f"confirm",
+            file=sys.stderr,
+        )
+        return 2
+    server = SearchServer(
+        index,
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        linger=args.linger_ms / 1000.0,
+        max_queue=args.max_queue,
+        cache_size=args.cache_size,
+        reload_poll=args.reload_poll,
+        workers=args.workers,
+        executor=args.executor,
+    )
+
+    async def _amain() -> None:
+        await server.start()
+        print(
+            f"serving {index} on {server.host}:{server.port} "
+            f"(sharded={server.sharded} max_batch={args.max_batch} "
+            f"linger={args.linger_ms}ms queue={args.max_queue})",
+            file=sys.stderr,
+            flush=True,
+        )
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(
+                    signum, lambda: loop.create_task(server.stop())
+                )
+            except NotImplementedError:  # e.g. non-Unix event loops
+                pass
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_amain())
+    except KeyboardInterrupt:
+        pass
+    print("server stopped", file=sys.stderr)
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    if args.queries is None and not (args.stats or args.shutdown):
+        print(
+            "error: a queries argument is required (or --stats/--shutdown)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.wait > 0:
+        wait_until_ready(args.host, args.port, timeout=args.wait)
+    with ServerClient(args.host, args.port, timeout=args.timeout) as client:
+        if args.stats:
+            response = client.stats()
+            print(json.dumps(response, indent=2, sort_keys=True))
+            return 0
+        if args.shutdown:
+            client.shutdown()
+            print("server stopping", file=sys.stderr)
+            return 0
+        queries = _load_records(args.queries, default_id="query")
+        started = time.perf_counter()
+        batch = client.search(queries, **_search_kwargs(args))
+        wall = time.perf_counter() - started
+    _hit_header()
+    total_hits = dropped = cached = 0
+    for result in batch.results:
+        total_hits += len(result.hits)
+        dropped += result.dropped_boundary
+        cached += result.cached
+        _print_result(
+            result.query_id, batch.engine, result.threshold, result.hits,
+            result.dropped_boundary, args.limit,
+        )
+    print(
+        f"# queries={len(batch.results)} hits={total_hits} "
+        f"dropped={dropped} cached={cached} "
+        f"generation={batch.generation} wall={wall:.3f}s",
+        file=sys.stderr,
+    )
+    return 0
 
 
 def cmd_index_build(args: argparse.Namespace) -> int:
@@ -385,6 +508,10 @@ def _add_search_options(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--threshold", type=int, default=None)
     parser.add_argument("--e-value", type=float, default=10.0)
+    parser.add_argument(
+        "--top-k", type=int, default=None, metavar="K",
+        help="rank each query's hits by score and keep only the best K",
+    )
     parser.add_argument("--limit", type=int, default=50, help="max printed hits per query")
     parser.add_argument("--workers", type=int, default=1, help="worker pool size")
     parser.add_argument(
@@ -417,6 +544,90 @@ def build_parser() -> argparse.ArgumentParser:
     search_db.add_argument("queries", help="query FASTA path")
     _add_search_options(search_db)
     search_db.set_defaults(func=cmd_search_db)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve an index over TCP (resident engine, micro-batching, "
+        "hot reload)",
+    )
+    serve.add_argument(
+        "--index", required=True, metavar="PATH",
+        help="prebuilt index store or shard manifest to serve",
+    )
+    serve.add_argument(
+        "--shards-ok", action="store_true",
+        help="confirm serving a shard manifest (keeps every shard engine "
+        "resident in this process)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=7781,
+        help="TCP port (0 picks an ephemeral port, printed on stderr)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=16, metavar="N",
+        help="max queries coalesced into one engine batch",
+    )
+    serve.add_argument(
+        "--linger-ms", type=float, default=2.0,
+        help="max milliseconds a batch waits for more queries",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=256, metavar="N",
+        help="admission-control cap on pending queries (overload beyond)",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=1024, metavar="N",
+        help="result LRU capacity in queries (0 disables caching)",
+    )
+    serve.add_argument(
+        "--reload-poll", type=float, default=2.0, metavar="SECONDS",
+        help="how often to check the index file for a hot reload "
+        "(0 disables polling; the reload RPC still works)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1,
+        help="worker-pool size inside one batch (the service layer's pool)",
+    )
+    serve.add_argument(
+        "--executor", choices=("threads", "processes", "spawn"),
+        default="threads", help="service worker pool type",
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    query = sub.add_parser(
+        "query", help="query a running `repro serve` instance"
+    )
+    query.add_argument(
+        "queries", nargs="?", default=None,
+        help="query FASTA path or literal sequence; omit with "
+        "--stats/--shutdown",
+    )
+    query.add_argument("--host", default="127.0.0.1")
+    query.add_argument("--port", type=int, default=7781)
+    query.add_argument("--threshold", type=int, default=None)
+    query.add_argument("--e-value", type=float, default=10.0)
+    query.add_argument(
+        "--top-k", type=int, default=None, metavar="K",
+        help="rank each query's hits by score and keep only the best K",
+    )
+    query.add_argument(
+        "--limit", type=int, default=50, help="max printed hits per query"
+    )
+    query.add_argument("--timeout", type=float, default=60.0)
+    query.add_argument(
+        "--wait", type=float, default=0.0, metavar="SECONDS",
+        help="wait up to SECONDS for the server to come up first",
+    )
+    query.add_argument(
+        "--stats", action="store_true",
+        help="print the server's stats snapshot as JSON and exit",
+    )
+    query.add_argument(
+        "--shutdown", action="store_true",
+        help="ask the server to stop gracefully and exit",
+    )
+    query.set_defaults(func=cmd_query)
 
     index = sub.add_parser(
         "index", help="build / inspect / verify persistent index stores"

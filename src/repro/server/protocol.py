@@ -1,0 +1,79 @@
+"""Length-prefixed JSON wire protocol shared by server and client.
+
+One frame is a fixed 4-byte big-endian unsigned payload length followed by
+that many bytes of UTF-8 JSON::
+
+    +----------------+----------------------------+
+    | length (>I, 4) | payload (UTF-8 JSON bytes) |
+    +----------------+----------------------------+
+
+Both sides speak the same frames; a *request* payload carries an ``op``
+(``search`` / ``stats`` / ``ping`` / ``reload`` / ``shutdown``) and a
+*response* payload carries a ``status`` (``ok`` / ``overloaded`` /
+``error``).  The length prefix is validated against ``max_frame`` before a
+single payload byte is read, so a hostile or corrupt prefix can never make
+the server allocate unbounded memory — it is reported as a
+:class:`ProtocolError` and the connection is closed.
+
+Everything here is synchronous byte-level plumbing (the asyncio server and
+the blocking client wrap it with their own I/O); only stdlib is used.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+from repro.errors import ReproError
+
+#: Frame header: one big-endian u32 payload length.
+PREFIX = struct.Struct(">I")
+
+#: Default ceiling for one frame's JSON payload (requests *and* responses).
+#: Large enough for thousands of hits, small enough that a garbage length
+#: prefix cannot trigger a multi-gigabyte read.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+
+class ProtocolError(ReproError):
+    """Malformed frame: bad length prefix, oversized or non-JSON payload."""
+
+
+def encode_frame(payload: dict, max_frame: int = MAX_FRAME_BYTES) -> bytes:
+    """Serialize one payload into a length-prefixed frame."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > max_frame:
+        raise ProtocolError(
+            f"frame payload is {len(body)} bytes, exceeding the "
+            f"{max_frame}-byte frame limit"
+        )
+    return PREFIX.pack(len(body)) + body
+
+
+def decode_length(prefix: bytes, max_frame: int = MAX_FRAME_BYTES) -> int:
+    """Validate a 4-byte prefix and return the payload length it announces."""
+    if len(prefix) != PREFIX.size:
+        raise ProtocolError(
+            f"truncated frame prefix ({len(prefix)} of {PREFIX.size} bytes)"
+        )
+    (length,) = PREFIX.unpack(prefix)
+    if length > max_frame:
+        raise ProtocolError(
+            f"announced payload of {length} bytes exceeds the "
+            f"{max_frame}-byte frame limit"
+        )
+    return length
+
+
+def decode_payload(body: bytes) -> dict:
+    """Parse a frame payload; the top-level value must be a JSON object."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame payload is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frame payload must be a JSON object, got "
+            f"{type(payload).__name__}"
+        )
+    return payload

@@ -507,16 +507,53 @@ class SearchService:
             )
         return recovered
 
+    @staticmethod
+    def _check_top_k(top_k: int | None) -> int | None:
+        if top_k is not None and top_k < 1:
+            raise ServiceError(f"top_k must be >= 1, got {top_k}")
+        return top_k
+
+    def _apply_top_k(self, result: QueryResult, top_k: int) -> QueryResult:
+        """Rank hits by score and truncate to the best ``top_k``.
+
+        The ordering — score descending, then global end position, then
+        query end — is exactly :meth:`ShardedSearchService._merge`'s ranked
+        order, so ``--top-k`` output is identical whether the index behind
+        the service is monolithic or sharded.
+        """
+        ranked = sorted(
+            result.hits,
+            key=lambda hit: (
+                -hit.score,
+                self.database.offset_of(hit.record_index) + hit.t_end,
+                hit.p_end,
+            ),
+        )
+        return QueryResult(
+            query_id=result.query_id,
+            hits=ranked[:top_k],
+            stats=result.stats,
+            threshold=result.threshold,
+            raw_hits=result.raw_hits,
+            dropped_boundary=result.dropped_boundary,
+        )
+
     # -------------------------------------------------------------- serving
     def search(
         self,
         query: str | Query | FastaRecord,
         threshold: int | None = None,
         e_value: float | None = None,
+        *,
+        top_k: int | None = None,
     ) -> QueryResult:
         """Search one query and attribute its hits (no pool involved)."""
+        top_k = self._check_top_k(top_k)
         (normalized,) = self._normalize_queries([query])
-        return self._search_one(normalized, threshold, e_value)
+        result = self._search_one(normalized, threshold, e_value)
+        if top_k is not None:
+            result = self._apply_top_k(result, top_k)
+        return result
 
     def iter_results(
         self,
@@ -524,6 +561,7 @@ class SearchService:
         threshold: int | None = None,
         e_value: float | None = None,
         *,
+        top_k: int | None = None,
         workers: int | None = None,
         executor: str | None = None,
     ) -> Iterator[QueryResult]:
@@ -532,14 +570,19 @@ class SearchService:
         Results stream as soon as each query (and everything submitted
         before it) finishes, so callers can emit hits before the whole
         batch completes.  Inputs are validated here, at call time, not at
-        first iteration.
+        first iteration.  ``top_k`` re-ranks each result's hits by score
+        (descending, position-ordered within ties) and truncates.
         """
         workers = self._check_workers(self.workers if workers is None else workers)
         executor = self._check_executor(
             self.executor if executor is None else executor
         )
+        top_k = self._check_top_k(top_k)
         normalized = self._normalize_queries(queries)
-        return self._iter_validated(normalized, threshold, e_value, workers, executor)
+        inner = self._iter_validated(normalized, threshold, e_value, workers, executor)
+        if top_k is None:
+            return inner
+        return (self._apply_top_k(result, top_k) for result in inner)
 
     def _iter_validated(
         self,
@@ -657,6 +700,7 @@ class SearchService:
         threshold: int | None = None,
         e_value: float | None = None,
         *,
+        top_k: int | None = None,
         workers: int | None = None,
         executor: str | None = None,
     ) -> BatchReport:
@@ -668,7 +712,8 @@ class SearchService:
         started = time.perf_counter()
         results = list(
             self.iter_results(
-                queries, threshold, e_value, workers=workers, executor=executor
+                queries, threshold, e_value, top_k=top_k,
+                workers=workers, executor=executor,
             )
         )
         wall = time.perf_counter() - started
@@ -686,6 +731,7 @@ class SearchService:
         threshold: int | None = None,
         e_value: float | None = None,
         *,
+        top_k: int | None = None,
         workers: int | None = None,
         executor: str | None = None,
     ) -> BatchReport:
@@ -694,6 +740,7 @@ class SearchService:
             parse_fasta_file(path),
             threshold,
             e_value,
+            top_k=top_k,
             workers=workers,
             executor=executor,
         )

@@ -38,12 +38,10 @@ store mmapped fresh, works without fork).
 from __future__ import annotations
 
 import heapq
-import json
 import multiprocessing
 import threading
 import time
 import warnings
-import zlib
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 from pathlib import Path
@@ -64,16 +62,11 @@ from repro.service.service import (
     ServiceError,
     normalize_queries,
 )
-from repro.store.sharded import ShardedStore, read_manifest
-
-
-def _payload_crc(payload: dict) -> int:
-    """CRC-32 of a manifest payload's canonical JSON form."""
-    return zlib.crc32(
-        json.dumps(payload, sort_keys=True, separators=(",", ":")).encode(
-            "utf-8"
-        )
-    )
+from repro.store.sharded import (
+    ShardedStore,
+    manifest_payload_crc as _payload_crc,
+    read_manifest,
+)
 
 
 @dataclass

@@ -15,6 +15,7 @@ from repro.store.sharded import (
     MANIFEST_VERSION,
     ShardedStore,
     is_manifest,
+    manifest_payload_crc,
     read_manifest,
     write_manifest,
 )
@@ -28,6 +29,7 @@ __all__ = [
     "default_store_cache",
     "fingerprint_key",
     "is_manifest",
+    "manifest_payload_crc",
     "read_manifest",
     "write_manifest",
     "MAGIC",

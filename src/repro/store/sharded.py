@@ -58,13 +58,23 @@ def _canonical(payload: dict) -> bytes:
     )
 
 
+def manifest_payload_crc(payload: dict) -> int:
+    """CRC-32 of a manifest payload's canonical JSON form.
+
+    This is the checksum stored in the manifest envelope, so it is the
+    on-disk identity of a sharded index: serving layers compare it to
+    detect in-place rebuilds (spawn-worker safety, hot reload).
+    """
+    return zlib.crc32(_canonical(payload))
+
+
 def write_manifest(path: str | Path, payload: dict) -> Path:
     """Write a checksummed manifest envelope atomically (tmp + rename)."""
     path = Path(path)
     envelope = {
         "magic": MANIFEST_MAGIC,
         "format_version": MANIFEST_VERSION,
-        "crc32": zlib.crc32(_canonical(payload)),
+        "crc32": manifest_payload_crc(payload),
         "payload": payload,
     }
     tmp = path.with_name(path.name + ".tmp")
@@ -99,7 +109,7 @@ def read_manifest(path: str | Path) -> dict:
     payload = envelope.get("payload")
     if not isinstance(payload, dict):
         raise StoreError(f"{path}: manifest has no payload")
-    if zlib.crc32(_canonical(payload)) != envelope.get("crc32"):
+    if manifest_payload_crc(payload) != envelope.get("crc32"):
         raise StoreError(f"{path}: manifest checksum mismatch (corrupt)")
     return payload
 

@@ -1,14 +1,17 @@
 """Workload construction mirroring the paper's Sec. 7 methodology.
 
-One :class:`Workload` bundles a text with a set of equal-length queries
-("we randomly chose 100 starting positions ... and picked a fixed length
-substring from each ... to generate a query workload"), both derived
-deterministically from a seed so each benchmark is reproducible.
+One :class:`Workload` bundles a text with a set of queries ("we randomly
+chose 100 starting positions ... and picked a fixed length substring from
+each ... to generate a query workload"), both derived deterministically
+from a seed so each benchmark is reproducible.  The paper's workloads are
+equal-length; serving benchmarks can instead request **mixed-length**
+queries (``query_length_range``) so batching and micro-batching are
+exercised by the ragged traffic a real front door sees.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -18,7 +21,7 @@ from repro.data.synthetic import genome, sample_homologous_queries
 
 @dataclass(frozen=True)
 class Workload:
-    """A text plus a fixed-length query workload."""
+    """A text plus a query workload (fixed-length or mixed-length)."""
 
     text: str
     queries: list[str]
@@ -32,7 +35,21 @@ class Workload:
 
     @property
     def m(self) -> int:
+        """The *requested* nominal query length.
+
+        Mixed-length workloads draw actual lengths from their range; read
+        :attr:`query_lengths` for per-query truth.
+        """
         return self.query_length
+
+    @property
+    def query_lengths(self) -> list[int]:
+        """Actual per-query lengths (all equal unless mixed-length)."""
+        return [len(query) for query in self.queries]
+
+    @property
+    def is_mixed_length(self) -> bool:
+        return len(set(self.query_lengths)) > 1
 
 
 _cache: dict[tuple, Workload] = {}
@@ -48,6 +65,7 @@ def make_workload(
     indel_rate: float = 0.02,
     repeat_fraction: float = 0.05,
     tandem_fraction: float = 0.02,
+    query_length_range: "tuple[int, int] | None" = None,
     cached: bool = True,
 ) -> Workload:
     """Build (and memoise) one reproducible workload configuration.
@@ -55,10 +73,24 @@ def make_workload(
     Repeat fractions and mutation rates default to values calibrated so the
     per-cell hit density is in the paper's regime (sparse hits embedded in a
     dominant random background) rather than wall-to-wall homology.
+
+    ``query_length_range=(lo, hi)`` draws each query's length uniformly
+    from ``[lo, hi]`` (inclusive, seeded) instead of using ``query_length``
+    for all of them — the mixed-length traffic serving and micro-batching
+    benchmarks need.  ``query_length`` then only names the workload's
+    nominal size; pass ``hi`` for an honest label.
     """
+    if query_length_range is not None:
+        lo, hi = query_length_range
+        if not (1 <= lo <= hi):
+            raise ValueError(
+                f"query_length_range must be (lo, hi) with 1 <= lo <= hi, "
+                f"got {query_length_range!r}"
+            )
     key = (
         text_length, query_length, query_count, alphabet.name, seed,
         sub_rate, indel_rate, repeat_fraction, tandem_fraction,
+        query_length_range,
     )
     if cached and key in _cache:
         return _cache[key]
@@ -67,10 +99,21 @@ def make_workload(
         text_length, rng, alphabet=alphabet,
         repeat_fraction=repeat_fraction, tandem_fraction=tandem_fraction,
     )
-    queries = sample_homologous_queries(
-        text, query_count, query_length, rng,
-        sub_rate=sub_rate, indel_rate=indel_rate, alphabet=alphabet,
-    )
+    if query_length_range is None:
+        queries = sample_homologous_queries(
+            text, query_count, query_length, rng,
+            sub_rate=sub_rate, indel_rate=indel_rate, alphabet=alphabet,
+        )
+    else:
+        lo, hi = query_length_range
+        lengths = rng.integers(lo, hi + 1, size=query_count)
+        queries = [
+            sample_homologous_queries(
+                text, 1, int(length), rng,
+                sub_rate=sub_rate, indel_rate=indel_rate, alphabet=alphabet,
+            )[0]
+            for length in lengths
+        ]
     workload = Workload(
         text=text, queries=queries, alphabet=alphabet, seed=seed,
         query_length=query_length,

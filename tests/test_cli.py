@@ -188,3 +188,138 @@ class TestOtherCommands:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestTopKOption:
+    def test_search_top_k_prints_only_best(self, capsys):
+        full = main(["search", "GCTAGCTAGCAT", "GCTAG", "--threshold", "4"])
+        assert full == 0
+        full_out = capsys.readouterr().out
+        code = main(
+            ["search", "GCTAGCTAGCAT", "GCTAG", "--threshold", "4",
+             "--top-k", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        (summary,) = [l for l in out.splitlines() if l.startswith("# query=")]
+        assert "hits=1" in summary
+        # The single kept hit is the best-scoring one of the full run.
+        hit_lines = [l for l in out.splitlines() if not l.startswith("#")]
+        full_scores = [
+            int(l.split("\t")[-1])
+            for l in full_out.splitlines()
+            if not l.startswith("#")
+        ]
+        assert len(hit_lines) == 1
+        assert int(hit_lines[0].split("\t")[-1]) == max(full_scores)
+
+
+class TestServeQueryCli:
+    @pytest.fixture(scope="class")
+    def served(self, tmp_path_factory):
+        """A built store, a query FASTA, and a live server for the class."""
+        import numpy as np
+
+        from repro import IndexStore, genome, write_fasta
+        from repro.io.database import SequenceDatabase
+        from repro.io.fasta import FastaRecord
+        from repro.server import SearchServer, ServerThread
+
+        root = tmp_path_factory.mktemp("cli-serving")
+        rng = np.random.default_rng(41)
+        records = [
+            FastaRecord(f"chr{i}", genome(1_500, rng)) for i in range(1, 4)
+        ]
+        db_fa = root / "db.fa"
+        write_fasta(records, db_fa)
+        store_path = root / "db.idx"
+        IndexStore.build(SequenceDatabase.from_fasta(db_fa)).save(store_path)
+        queries_fa = root / "q.fa"
+        write_fasta(
+            [
+                FastaRecord("q1", records[0].sequence[100:160]),
+                FastaRecord("q2", records[2].sequence[300:360]),
+            ],
+            queries_fa,
+        )
+        server = SearchServer(store_path, port=0, reload_poll=0)
+        with ServerThread(server) as handle:
+            yield {
+                "store": store_path,
+                "queries": queries_fa,
+                "port": handle.port,
+            }
+
+    def test_query_matches_search_db_byte_for_byte(self, served, capsys):
+        code = main(
+            ["search-db", "--index", str(served["store"]),
+             str(served["queries"]), "--threshold", "30"]
+        )
+        assert code == 0
+        offline = capsys.readouterr().out
+        code = main(
+            ["query", str(served["queries"]), "--port", str(served["port"]),
+             "--threshold", "30"]
+        )
+        assert code == 0
+        assert capsys.readouterr().out == offline
+
+    def test_query_top_k_matches_search_db(self, served, capsys):
+        code = main(
+            ["search-db", "--index", str(served["store"]),
+             str(served["queries"]), "--threshold", "30", "--top-k", "2"]
+        )
+        assert code == 0
+        offline = capsys.readouterr().out
+        code = main(
+            ["query", str(served["queries"]), "--port", str(served["port"]),
+             "--threshold", "30", "--top-k", "2"]
+        )
+        assert code == 0
+        assert capsys.readouterr().out == offline
+
+    def test_query_stats_prints_json(self, served, capsys):
+        import json
+
+        code = main(["query", "--stats", "--port", str(served["port"])])
+        assert code == 0
+        body = json.loads(capsys.readouterr().out)
+        assert body["engine"] == "alae"
+        assert "queries_total" in body["stats"]
+
+    def test_query_requires_queries_or_stats(self, capsys):
+        code = main(["query", "--port", "7781"])
+        assert code == 2
+        assert "queries argument" in capsys.readouterr().err
+
+    def test_query_against_dead_port_is_clean_error(self, capsys):
+        import socket
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            free_port = probe.getsockname()[1]
+        code = main(["query", "ACGTACGT", "--port", str(free_port)])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_rejects_missing_index(self, tmp_path, capsys):
+        code = main(["serve", "--index", str(tmp_path / "nope.idx")])
+        assert code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_serve_gates_shard_manifests(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro import ShardedStore, genome
+        from repro.io.database import SequenceDatabase
+        from repro.io.fasta import FastaRecord
+
+        rng = np.random.default_rng(43)
+        database = SequenceDatabase(
+            [FastaRecord(f"chr{i}", genome(600, rng)) for i in range(1, 4)]
+        )
+        manifest = tmp_path / "db.shd"
+        ShardedStore.build(database, manifest, shards=2)
+        code = main(["serve", "--index", str(manifest)])
+        assert code == 2
+        assert "--shards-ok" in capsys.readouterr().err

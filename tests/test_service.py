@@ -240,3 +240,40 @@ class TestInputs:
     def test_unknown_engine_rejected(self, database):
         with pytest.raises(ServiceError, match="unknown engine"):
             SearchService(database, engine="ssearch")
+
+
+class TestTopK:
+    def test_top_k_equals_ranked_truncation(self, service, queries):
+        full = service.search_batch(queries, threshold=THRESHOLD)
+        topped = service.search_batch(queries, threshold=THRESHOLD, top_k=2)
+        for base, result in zip(full.results, topped.results):
+            # Positional order is global (t_end, p_end), so ranking by
+            # (-score, position) is ranking by (-score, t_end, p_end).
+            expected = [
+                hit
+                for _i, hit in sorted(
+                    enumerate(base.hits),
+                    key=lambda item: (-item[1].score, item[0]),
+                )[:2]
+            ]
+            assert result.hits == expected
+            assert result.raw_hits == base.raw_hits
+            assert result.threshold == base.threshold
+
+    def test_scores_descending_and_truncated(self, service, queries):
+        result = service.search(queries[0], threshold=THRESHOLD, top_k=3)
+        scores = [hit.score for hit in result.hits]
+        assert scores == sorted(scores, reverse=True)
+        assert len(result.hits) <= 3
+
+    def test_single_search_top_k_keeps_best(self, service, queries):
+        full = service.search(queries[0], threshold=THRESHOLD)
+        best = service.search(queries[0], threshold=THRESHOLD, top_k=1)
+        assert len(best.hits) == 1
+        assert best.hits[0].score == max(hit.score for hit in full.hits)
+
+    def test_invalid_top_k_rejected(self, service, queries):
+        with pytest.raises(ServiceError, match="top_k"):
+            service.search(queries[0], threshold=THRESHOLD, top_k=0)
+        with pytest.raises(ServiceError, match="top_k"):
+            service.search_batch(queries, threshold=THRESHOLD, top_k=-1)

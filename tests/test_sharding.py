@@ -304,6 +304,22 @@ class TestTopK:
         with pytest.raises(ServiceError, match="top_k"):
             list(service.iter_results(queries, threshold=THRESHOLD, top_k=0))
 
+    def test_unsharded_top_k_matches_sharded(
+        self, unsharded, manifests, queries
+    ):
+        """The CLI's --top-k must not care which layout --index points at."""
+        sharded = ShardedSearchService(manifests[4])
+        flat = list(
+            unsharded.iter_results(queries, threshold=THRESHOLD, top_k=3)
+        )
+        fanned = list(
+            sharded.iter_results(queries, threshold=THRESHOLD, top_k=3)
+        )
+        for a, b in zip(flat, fanned):
+            assert [hit_tuple(h) for h in a.hits] == [
+                hit_tuple(h) for h in b.hits
+            ]
+
     def test_score_floor_is_kth_best_of_subset(self):
         floor = _ScoreFloor(3)
         assert floor.floor(0) is None

@@ -121,3 +121,40 @@ class TestWorkload:
         assert wl.m == 150
         assert len(wl.queries) == 4
         assert all(len(q) == 150 for q in wl.queries)
+
+
+class TestMixedLengthWorkload:
+    def test_lengths_within_range(self):
+        wl = make_workload(
+            4_000, 200, query_count=8, query_length_range=(50, 200),
+            cached=False,
+        )
+        assert len(wl.queries) == 8
+        assert all(50 <= length <= 200 for length in wl.query_lengths)
+        assert wl.is_mixed_length
+
+    def test_deterministic_for_a_seed(self):
+        a = make_workload(
+            3_000, 150, query_count=6, query_length_range=(40, 150),
+            cached=False,
+        )
+        b = make_workload(
+            3_000, 150, query_count=6, query_length_range=(40, 150),
+            cached=False,
+        )
+        assert a.queries == b.queries
+
+    def test_cache_key_distinguishes_ranges(self):
+        fixed = make_workload(2_500, 120, query_count=4)
+        mixed = make_workload(
+            2_500, 120, query_count=4, query_length_range=(60, 120)
+        )
+        assert fixed is not mixed
+        assert not fixed.is_mixed_length
+        assert fixed.query_lengths == [120] * 4
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError, match="query_length_range"):
+            make_workload(2_000, 100, query_length_range=(80, 40))
+        with pytest.raises(ValueError, match="query_length_range"):
+            make_workload(2_000, 100, query_length_range=(0, 40))
