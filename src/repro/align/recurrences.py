@@ -111,62 +111,71 @@ def advance_row(
     ss = scheme.ss
     go = scheme.sg + scheme.ss
 
-    dead_candidates = 0
-    diag: dict[int, int] = {}
-    vert: dict[int, int] = {}
-    for j, (m_val, ga_val) in frontier.items():
-        # Vertical: Ga(i, j) = max(Ga(i-1, j) + ss, M(i-1, j) + sg + ss).
-        g = ga_val + ss
-        h = m_val + go
-        if h > g:
-            g = h
-        if g > 0:
-            vert[j] = g
-        elif dense:
-            dead_candidates += 1
-        # Diagonal into column j + 1.
-        if j < m:
-            d = m_val + (sa if query[j] == x_char else sb)
-            if d > 0:
-                j1 = j + 1
-                old = diag.get(j1)
-                if old is None or d > old:
-                    diag[j1] = d
-            elif dense:
-                dead_candidates += 1
-
-    if not diag and not vert:
-        if counter is not None and dead_candidates:
-            if counter._bwtsw:
-                counter.x3 += dead_candidates
-            else:
-                counter.x1 += dead_candidates
+    # Single left-to-right merge over the (ascending) frontier: each source
+    # cell contributes its vertical candidate at its own column and at most
+    # one pending diagonal candidate at the next column, and ``Gb``
+    # propagates as the running ``e_val`` — no intermediate candidate dicts
+    # or column sort.  A column is *calculated* (and charged to the cost
+    # counter) exactly when it has a positive diagonal or vertical
+    # candidate, or a live horizontal score — identical to the classic
+    # two-phase formulation (the engine-equivalence and fuzz suites compare
+    # the counters bit-for-bit).
+    src = list(frontier.items())
+    ns = len(src)
+    if not ns:
         return {}
-
-    cols = sorted(set(diag) | set(vert))
     new: Frontier = {}
-    e_val = NEG  # Gb at the column currently being processed
-    ci = 0
-    j = cols[0]
-    ncols = len(cols)
+    dead_candidates = 0
     n1 = n2 = n3 = 0  # local cost-class tallies, flushed once at the end
-    diag_get = diag.get
-    vert_get = vert.get
-    while j <= m:
-        if ci < ncols and cols[ci] == j:
-            d = diag_get(j, NEG)
-            g = vert_get(j, NEG)
-            ci += 1
+    e_val = NEG  # Gb at the column currently being processed
+    pend_d = NEG  # pending diagonal candidate (for column pend_col)
+    pend_col = -1
+    si = 0
+    j = src[0][0]
+    while True:
+        if j == pend_col:
+            d = pend_d
+            pend_d = NEG
         else:
-            # Column exists only through horizontal gap extension.
+            d = NEG
+        if si < ns and src[si][0] == j:
+            mv, ga_val = src[si][1]
+            si += 1
+            # Vertical: Ga(i, j) = max(Ga(i-1, j) + ss, M(i-1, j) + sg + ss).
+            g = ga_val + ss
+            h = mv + go
+            if h > g:
+                g = h
+            if g <= 0:
+                g = NEG
+                if dense:
+                    dead_candidates += 1
+            # Diagonal into column j + 1.
+            if j < m:
+                dd = mv + (sa if query[j] == x_char else sb)
+                if dd > 0:
+                    pend_d = dd
+                    pend_col = j + 1
+                elif dense:
+                    dead_candidates += 1
+        else:
+            g = NEG
+
+        if d == NEG and g == NEG:
+            # No candidate here: live horizontal extension keeps the column
+            # calculated, otherwise jump to the next candidate column.
             if e_val <= live:
-                if ci >= ncols:
+                if pend_d > NEG:
+                    nxt = pend_col
+                    if si < ns and src[si][0] < nxt:
+                        nxt = src[si][0]
+                elif si < ns:
+                    nxt = src[si][0]
+                else:
                     break
                 e_val = NEG
-                j = cols[ci]
+                j = nxt
                 continue
-            d = NEG
-            g = NEG
 
         m_val = d
         if g > m_val:
@@ -200,9 +209,11 @@ def advance_row(
         if e_val <= 0:
             e_val = NEG
 
-        if ci >= ncols and e_val <= live:
+        if pend_d == NEG and si >= ns and e_val <= live:
             break
         j += 1
+        if j > m:
+            break
     if counter is not None:
         if counter._bwtsw:
             counter.x3 += n1 + n2 + n3 + dead_candidates

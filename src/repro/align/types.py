@@ -13,6 +13,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable
 
+#: Sentinel ``t_start`` value meaning "the producing engine did not track
+#: the alignment's text start".  Positions are 1-based, so 0 can never be a
+#: real start; consumers must compare against this constant explicitly
+#: instead of relying on integer falsiness.
+START_UNKNOWN = 0
+
 
 @dataclass(frozen=True, order=True)
 class Hit:
@@ -21,7 +27,7 @@ class Hit:
     Positions are 1-based inclusive.  ``t_start`` is the text start of the
     best-scoring alignment ending at ``(t_end, p_end)`` (``A(i, j).pos`` in
     the paper); engines that do not track starts (the vectorised
-    Smith-Waterman sweep) leave it at 0.
+    Smith-Waterman sweep) leave it at :data:`START_UNKNOWN`.
     """
 
     t_end: int
@@ -49,6 +55,32 @@ class ResultSet:
         cur = self._cells.get(key)
         if cur is None or score > cur[0] or (score == cur[0] and t_start < cur[1]):
             self._cells[key] = (score, t_start)
+
+    def add_batch(self, t_ends, p_end: int, score: int, t_starts) -> None:
+        """Record one ``(p_end, score)`` cell at many text end positions.
+
+        ``t_ends``/``t_starts`` are parallel integer sequences — ndarrays or
+        plain lists, one entry per located occurrence; the max-dedup and
+        tie-break semantics match :meth:`add` exactly.  Values are
+        materialised as plain Python ints so downstream :class:`Hit` fields
+        never hold numpy scalars.
+        """
+        cells = self._cells
+        p_end = int(p_end)
+        score = int(score)
+        if not isinstance(t_ends, list):
+            t_ends = t_ends.tolist()
+        if not isinstance(t_starts, list):
+            t_starts = t_starts.tolist()
+        for t_end, t_start in zip(t_ends, t_starts):
+            key = (t_end, p_end)
+            cur = cells.get(key)
+            if (
+                cur is None
+                or score > cur[0]
+                or (score == cur[0] and t_start < cur[1])
+            ):
+                cells[key] = (score, t_start)
 
     def merge(self, other: "ResultSet") -> None:
         """Fold another result set into this one (max per cell)."""

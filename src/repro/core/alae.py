@@ -28,14 +28,29 @@ from __future__ import annotations
 import time
 from collections import defaultdict
 
+import numpy as np
+
 from repro.align.bwt_sw import resolve_threshold
-from repro.align.recurrences import CostCounter
+from repro.align.recurrences import CostCounter, advance_row
 from repro.align.smith_waterman import PairwiseAlignment, align_pair
-from repro.align.types import Hit, ResultSet, SearchResult, SearchStats
+from repro.align.types import (
+    START_UNKNOWN,
+    Hit,
+    ResultSet,
+    SearchResult,
+    SearchStats,
+)
 from repro.alphabet import DNA, Alphabet
 from repro.core.domination import DominationIndex
 from repro.core.filters import FilterPlan, make_filter_plan
-from repro.core.forks import GAP, NGR, Fork, fgoe_row_frontier, seed_fork
+from repro.core.forks import (
+    GAP,
+    NGR,
+    Fork,
+    fgoe_row_frontier,
+    seed_fork,
+    split_cohort,
+)
 from repro.core.global_filter import GlobalBitMatrix
 from repro.core.reuse import ReuseEngine
 from repro.index.csa import EMPTY_RANGE, ReversedTextIndex
@@ -60,6 +75,16 @@ class ALAE:
     use_global_bitmask:
         Toggles for each technique (all exact; defaults mirror the paper's
         configuration — the bitmap filter is off, Sec. 3.2.2 replacing it).
+    use_vectorized:
+        When ``True`` (default) the suffix-trie traversal runs on the
+        code-point representation: NGR fork cohorts advance as parallel
+        ``(pip, score)`` sequences (numpy arrays past the cohort cutoff),
+        child existence is read off the BWT before any rank query is paid,
+        unary chains are consumed straight from the text with vectorized
+        diagonal runs, and hit emission uses the batched locate.
+        ``False`` keeps the per-fork scalar reference traversal; both
+        return bit-identical results and statistics (the differential
+        fuzz suite asserts it).  See README "Engine internals".
     """
 
     def __init__(
@@ -73,6 +98,7 @@ class ALAE:
         use_domination: bool = True,
         use_reuse: bool = True,
         use_global_bitmask: bool = False,
+        use_vectorized: bool = True,
         occ_block: int = 128,
         sa_sample: int = 16,
     ) -> None:
@@ -85,9 +111,12 @@ class ALAE:
         self.use_domination = use_domination
         self.use_reuse = use_reuse
         self.use_global_bitmask = use_global_bitmask
+        self.use_vectorized = use_vectorized
         self.csa = ReversedTextIndex(
             text, alphabet, occ_block=occ_block, sa_sample=sa_sample
         )
+        # code -> character for the vectorized traversal (code 0 = sentinel).
+        self._code_chars = [""] + list(alphabet.chars)
         self._dom_cache: dict[int, DominationIndex] = {}
 
     @classmethod
@@ -102,6 +131,7 @@ class ALAE:
         use_domination: bool = True,
         use_reuse: bool = True,
         use_global_bitmask: bool = False,
+        use_vectorized: bool = True,
     ) -> "ALAE":
         """Assemble an engine around already-built indexes (store fast path).
 
@@ -120,7 +150,9 @@ class ALAE:
         engine.use_domination = use_domination
         engine.use_reuse = use_reuse
         engine.use_global_bitmask = use_global_bitmask
+        engine.use_vectorized = use_vectorized
         engine.csa = csa
+        engine._code_chars = [""] + list(csa.alphabet.chars)
         engine._dom_cache = {}
         if domination is not None:
             engine._dom_cache[domination.q] = domination
@@ -184,11 +216,25 @@ class ALAE:
             self._emit_short_matches(query, plan, results, stats)
 
         if m >= plan.q:
+            vec_state = None
+            if self.use_vectorized:
+                # Per-search context of the vectorized traversal: query code
+                # points (array + list form) and the depth-only liveness
+                # thresholds for every admissible row.
+                qcodes = self.csa.query_codes(query)
+                vec_state = (
+                    qcodes,
+                    qcodes.tolist(),
+                    [
+                        plan.row_live_threshold(i, self.use_score_filter)
+                        for i in range(plan.lmax + 2)
+                    ],
+                )
             qidx = QGramIndex(query, plan.q)
             for gram in qidx.grams():
                 self._search_gram(
-                    gram, qidx, query, plan, h_thr, results, stats, counter,
-                    reuse, dom, gbm,
+                    gram, qidx, query, vec_state, plan, h_thr, results, stats,
+                    counter, reuse, dom, gbm,
                 )
 
         stats.calculated_x1 = counter.x1
@@ -228,6 +274,7 @@ class ALAE:
         gram: str,
         qidx: QGramIndex,
         query: str,
+        vec_state: tuple | None,
         plan: FilterPlan,
         h_thr: int,
         results: ResultSet,
@@ -299,9 +346,36 @@ class ALAE:
                 if gbm is not None and m_val >= self.scheme.sa:
                     gbm.mark(seed_ends_lazy(), col)
 
+        if vec_state is not None:
+            self._traverse_vectorized(
+                rng, forks, query, vec_state, plan, h_thr, results, stats,
+                counter, reuse, gbm,
+            )
+        else:
+            self._traverse_scalar(
+                rng, forks, query, plan, h_thr, results, stats, counter,
+                reuse, gbm,
+            )
+
+    def _traverse_scalar(
+        self,
+        rng: tuple[int, int],
+        forks: list[Fork],
+        query: str,
+        plan: FilterPlan,
+        h_thr: int,
+        results: ResultSet,
+        stats: SearchStats,
+        counter: CostCounter,
+        reuse: ReuseEngine,
+        gbm: GlobalBitMatrix | None,
+    ) -> None:
+        """Per-fork reference traversal (the pre-vectorization hot path)."""
         char_codes = self.csa.char_codes()
         extend_code = self.csa.extend_code
-        stack: list[tuple[tuple[int, int], int, list[Fork]]] = [(rng, q, forks)]
+        stack: list[tuple[tuple[int, int], int, list[Fork]]] = [
+            (rng, plan.q, forks)
+        ]
         while stack:
             node_rng, depth, node_forks = stack.pop()
             stats.nodes_visited += 1
@@ -318,6 +392,851 @@ class ALAE:
                 )
                 if survivors:
                     stack.append((child_rng, new_depth, survivors))
+
+    #: Cohorts below this size advance with plain Python ints: the numpy
+    #: per-call overhead exceeds the work at 1-7 forks (measured), and the
+    #: scalar arm of the advance runs on the same code-point representation.
+    _VECTOR_MIN_FORKS = 8
+    #: A unary chain must have survived this many rows before the engine
+    #: pays one locate to switch to text mode (free when the chain happens
+    #: to step onto a sampled SA row), and must have at least this much
+    #: row budget left for the switch to amortise.  Young chains mostly
+    #: die within a few rows, where the locate would be pure loss.
+    _CHAIN_MIN_AGE = 3
+    _CHAIN_MIN_BUDGET = 8
+
+    def _traverse_vectorized(
+        self,
+        rng: tuple[int, int],
+        forks: list[Fork],
+        query: str,
+        vec_state: tuple,
+        plan: FilterPlan,
+        h_thr: int,
+        results: ResultSet,
+        stats: SearchStats,
+        counter: CostCounter,
+        reuse: ReuseEngine,
+        gbm: GlobalBitMatrix | None,
+    ) -> None:
+        """Cohort traversal on the code-point representation.
+
+        Structure (bit-identical results, ordering and cost accounting to
+        :meth:`_traverse_scalar`, asserted by the differential fuzz suite):
+
+        * child *existence* is read straight off the BWT — ``bwt[lo]`` on
+          unary paths, a slice scan on narrow nodes, one ``bincount`` pass
+          on wide ones — and the cohort advances **before** any rank query:
+          a child whose forks all die needs no SA range at all, so the
+          O(occ) work is paid only for children with survivors, emissions
+          or gap forks (dead ends are the overwhelming majority of trie
+          edges).  Gap-bearing wide nodes take
+          :meth:`ReversedTextIndex.children` (one Occ-row pair for all
+          sigma child ranges) since every existing child must be walked;
+        * the NGR cohort is a pair of parallel ``(pip, score)`` sequences:
+          at ``>= _VECTOR_MIN_FORKS`` forks it advances as int64 arrays
+          with one gather (``qcodes[cols - 1]``) and mask per (node,
+          character); below that the same code-point advance runs on
+          Python ints, where per-call numpy overhead would dominate;
+        * unary chains (a size-1 range pins a single occurrence, so every
+          descendant has at most one child) are followed in an inner loop
+          with no stack traffic, and once a chain is ``_CHAIN_MIN_AGE``
+          rows old it switches to *text mode* (:meth:`_chain_text`): one
+          locate, then characters are plain array reads, pure-NGR
+          stretches score the whole remaining chain with one
+          gather + cumsum per fork (:meth:`_chain_run`), and gap cones
+          step through the shared sparse DP with locate-free emission;
+        * hits are located with the batched LF walk
+          (:meth:`ReversedTextIndex.end_positions_array`, via
+          :meth:`_locate_ends`) and recorded via :meth:`ResultSet.add` /
+          :meth:`ResultSet.add_batch`.
+        """
+        qcodes, qlist, live_rows = vec_state
+        scheme = self.scheme
+        sa, sb = scheme.sa, scheme.sb
+        m, h_budget = plan.m, plan.threshold
+        fgoe = plan.fgoe_bound
+        lmax = plan.lmax
+        use_sf = self.use_score_filter
+        use_lf = self.use_length_filter
+        csa = self.csa
+        fm = csa._fm
+        fm_bwt = fm._bwt
+        fm_bwt_arr = fm._bwt_arr
+        occ = fm.occ
+        c_list = fm._C_list
+        sigma1 = fm.sigma + 1
+        sa_samples_get = fm._sa_samples.get
+        n_text = csa.n
+        children = csa.children
+        code_chars = self._code_chars
+        row_live = plan.row_live_threshold
+        vector_min = self._VECTOR_MIN_FORKS
+        chain_min_age = self._CHAIN_MIN_AGE
+        chain_min_budget = self._CHAIN_MIN_BUDGET
+        n_live = len(live_rows)
+
+        visited = 0
+        x1_charged = 0
+        pips0, scores0, gaps0 = split_cohort(forks)
+        stack = [(rng[0], rng[1], plan.q, pips0, scores0, gaps0, 0)]
+        add_node = stack.append
+        while stack:
+            lo, hi, depth, pips, scores, gaps, chain_age = stack.pop()
+            while True:  # follow unary chains without stack round-trips
+                visited += 1
+                new_depth = depth + 1
+                if use_lf and new_depth > lmax:
+                    break
+                width = hi - lo
+                if (
+                    chain_age >= chain_min_age
+                    and width == 1
+                    and gbm is None
+                    and (not use_lf or lmax - depth >= chain_min_budget)
+                ):
+                    # An established chain leaves the FM-index for good: the
+                    # text itself drives the rest.  Chain stepping IS the LF
+                    # walk a locate would do, so when this row happens to be
+                    # a sampled one its text position comes for free.
+                    pos = sa_samples_get(lo)
+                    self._chain_text(
+                        lo, depth, pips, scores, gaps, query, vec_state,
+                        plan, h_thr, results, stats, counter, reuse,
+                        e=None if pos is None else n_text - pos,
+                    )
+                    break
+
+                # Forks whose diagonal already left the query die silently
+                # (pips ascend, so the tail holds every such column).
+                while pips and pips[-1] + depth > m:
+                    pips.pop()
+                    scores.pop()
+                k = len(pips)
+                if not k and not gaps:
+                    break
+
+                live = (
+                    live_rows[new_depth]
+                    if new_depth < n_live
+                    else row_live(new_depth, use_sf)
+                )
+
+                # ---- fused step for young unary chains ------------------
+                # The single child's code is a byte read; its SA range (one
+                # rank query) is paid only if the cohort survives into it.
+                if width == 1 and not gaps and k and k < vector_min:
+                    code1 = fm_bwt[lo]
+                    if not code1:
+                        break
+                    x1_charged += k
+                    child_rng = None
+                    ends = None
+                    child_pips = []
+                    child_scores = []
+                    child_gaps = []
+                    for pip, fscore in zip(pips, scores):
+                        col = pip + depth
+                        score = fscore + (
+                            sa if qlist[col - 1] == code1 else sb
+                        )
+                        if use_sf:
+                            bound = h_budget - (m - col) * sa - 1
+                            if live > bound:
+                                bound = live
+                        else:
+                            bound = 0
+                        if score <= bound:
+                            continue
+                        if child_rng is None:
+                            base = c_list[code1] + occ(code1, lo)
+                            child_rng = (base, base + 1)
+                        if score > fgoe:
+                            ends = self._emit_fgoe_frontier(
+                                pip, score, bound, new_depth, child_rng,
+                                child_gaps, plan, h_thr, results, counter,
+                                gbm, ends,
+                            )
+                            continue
+                        child_pips.append(pip)
+                        child_scores.append(score)
+                        if score >= h_thr or (
+                            gbm is not None and score >= sa
+                        ):
+                            if ends is None:
+                                ends = self._locate_ends(child_rng)
+                            if score >= h_thr:
+                                for e in ends:
+                                    results.add(
+                                        e, col, score, e - new_depth + 1
+                                    )
+                            if gbm is not None and score >= sa:
+                                gbm.mark(ends, col)
+                    if not child_pips and not child_gaps:
+                        break
+                    lo, hi = child_rng
+                    pips, scores, gaps = child_pips, child_scores, child_gaps
+                    depth = new_depth
+                    chain_age += 1
+                    continue
+
+                # ---- match-code probe (pure-NGR small cohorts) ----------
+                # If every fork dies on a mismatch (+sb), the only children
+                # that can carry survivors are the forks' match codes: the
+                # cohort advances once, the index is probed just for those
+                # codes (existence is a memchr against the BWT slice), and
+                # the dead-end children's exact x1 charges come from a bare
+                # distinct-code count.
+                if k and not gaps and width > 1 and k < vector_min:
+                    probe: dict | None = {}
+                    for pip, fscore in zip(pips, scores):
+                        col = pip + depth
+                        if use_sf:
+                            bound = h_budget - (m - col) * sa - 1
+                            if live > bound:
+                                bound = live
+                        else:
+                            bound = 0
+                        if fscore + sb > bound:
+                            probe = None  # a mismatch survives: probe all
+                            break
+                        mscore = fscore + sa
+                        if mscore > bound:
+                            mc = qlist[col - 1]
+                            lst = probe.get(mc)
+                            if lst is None:
+                                probe[mc] = lst = []
+                            lst.append((pip, mscore, bound))
+                    if probe is not None:
+                        seg = None
+                        if width > 2048:
+                            # A slice copy would dominate: one Occ-row pair.
+                            all_kids = children((lo, hi))
+                            d = len(all_kids)
+                            probed = [
+                                (code, rng_c)
+                                for code, rng_c in all_kids
+                                if code in probe
+                            ]
+                        else:
+                            seg = fm_bwt[lo:hi]
+                            d = 0
+                            for code in range(1, sigma1):
+                                if code in seg:
+                                    d += 1
+                            probed = [
+                                (code, None)
+                                for code in sorted(probe)
+                                if code in seg
+                            ]
+                        # Every existing child costs one Eq. 3 cell per fork
+                        # whether or not it carries a survivor.
+                        x1_charged += k * d
+                        for code, child_rng in probed:
+                            if child_rng is None:
+                                base = c_list[code] + occ(code, lo)
+                                child_rng = (base, base + seg.count(code))
+                            ends = None
+                            child_gaps: list = []
+                            child_pips: list = []
+                            child_scores: list = []
+                            for pip, mscore, bound in probe[code]:
+                                if mscore > fgoe:
+                                    ends = self._emit_fgoe_frontier(
+                                        pip, mscore, bound, new_depth,
+                                        child_rng, child_gaps, plan, h_thr,
+                                        results, counter, gbm, ends,
+                                    )
+                                    continue
+                                child_pips.append(pip)
+                                child_scores.append(mscore)
+                                if mscore >= h_thr or (
+                                    gbm is not None and mscore >= sa
+                                ):
+                                    if ends is None:
+                                        ends = self._locate_ends(child_rng)
+                                    if mscore >= h_thr:
+                                        col = pip + depth
+                                        for e in ends:
+                                            results.add(
+                                                e, col, mscore,
+                                                e - new_depth + 1,
+                                            )
+                                    if gbm is not None and mscore >= sa:
+                                        gbm.mark(ends, pip + depth)
+                            if child_pips or child_gaps:
+                                add_node(
+                                    (child_rng[0], child_rng[1], new_depth,
+                                     child_pips, child_scores, child_gaps, 0)
+                                )
+                        break  # every existing child is accounted for
+
+                # ---- child existence (no rank queries yet) --------------
+                # kids: (code, count, range-or-None) in ascending code
+                # order; a None range is resolved only if the child turns
+                # out to need one (survivors, emissions, or gap pushes).
+                if k >= vector_min:
+                    # The array cohort needs its ranges up front: take them
+                    # all at once (one Occ-row pair on wide nodes).
+                    kids = [
+                        (code, r[1] - r[0], r)
+                        for code, r in children((lo, hi))
+                    ]
+                    if not kids:
+                        break
+                elif width == 1:
+                    code1 = fm_bwt[lo]
+                    if not code1:
+                        break
+                    kids = ((code1, 1, None),)
+                elif width <= 8:
+                    seg = fm_bwt[lo:hi]
+                    code1 = seg[0]
+                    if seg.count(code1) == width:  # one distinct extension
+                        if not code1:
+                            break
+                        kids = ((code1, width, None),)
+                    else:
+                        kids = [
+                            (c, seg.count(c), None)
+                            for c in sorted(set(seg))
+                            if c
+                        ]
+                else:
+                    counts = np.bincount(
+                        fm_bwt_arr[lo:hi], minlength=sigma1
+                    ).tolist()
+                    kids = [
+                        (c, counts[c], None)
+                        for c in range(1, sigma1)
+                        if counts[c]
+                    ]
+                    if not kids:
+                        break
+
+                pips_a = qc = bounds = scores_a = None
+                if k >= vector_min:
+                    pips_a = np.array(pips, dtype=np.int64)
+                    scores_a = np.array(scores, dtype=np.int64)
+                    cols_a = pips_a + depth
+                    qc = qcodes[cols_a - 1]
+                    bounds = (
+                        np.maximum(live, h_budget - (m - cols_a) * sa - 1)
+                        if use_sf
+                        else 0
+                    )
+
+                descend = None  # the single child of a chain node survives
+                for code, count, child_rng in kids:
+                    ends: list | None = None
+                    child_gaps: list = []
+                    if pips_a is not None:
+                        # ---- array cohort advance: one gather + mask ----
+                        x1_charged += k
+                        snew = scores_a + np.where(qc == code, sa, sb)
+                        keep = snew > bounds
+                        if keep.any():
+                            over = keep & (snew > fgoe)
+                            if over.any():
+                                stay = keep & ~over
+                                for i in np.nonzero(over)[0].tolist():
+                                    ends = self._emit_fgoe_frontier(
+                                        pips[i], int(snew[i]),
+                                        int(bounds[i]) if use_sf else 0,
+                                        new_depth, child_rng, child_gaps,
+                                        plan, h_thr, results, counter, gbm,
+                                        ends,
+                                    )
+                            else:
+                                stay = keep
+                            child_pips = pips_a[stay].tolist()
+                            child_scores = snew[stay].tolist()
+                            if child_scores:
+                                best = max(child_scores)
+                                if best >= h_thr or (
+                                    gbm is not None and best >= sa
+                                ):
+                                    if ends is None:
+                                        ends = self._locate_ends(child_rng)
+                                    starts = [
+                                        e - new_depth + 1 for e in ends
+                                    ]
+                                    for pip_i, score_i in zip(
+                                        child_pips, child_scores
+                                    ):
+                                        col_i = pip_i + new_depth - 1
+                                        if score_i >= h_thr:
+                                            results.add_batch(
+                                                ends, col_i, score_i, starts
+                                            )
+                                        if gbm is not None and score_i >= sa:
+                                            gbm.mark(ends, col_i)
+                        else:
+                            child_pips = []
+                            child_scores = []
+                    else:
+                        # ---- scalar cohort advance (same code points) ---
+                        child_pips = []
+                        child_scores = []
+                        x1_charged += k
+                        for pip, fscore in zip(pips, scores):
+                            col = pip + depth
+                            score = fscore + (
+                                sa if qlist[col - 1] == code else sb
+                            )
+                            if use_sf:
+                                bound = h_budget - (m - col) * sa - 1
+                                if live > bound:
+                                    bound = live
+                            else:
+                                bound = 0
+                            if score <= bound:
+                                continue
+                            if child_rng is None:
+                                base = c_list[code] + occ(code, lo)
+                                child_rng = (base, base + count)
+                            if score > fgoe:
+                                ends = self._emit_fgoe_frontier(
+                                    pip, score, bound, new_depth, child_rng,
+                                    child_gaps, plan, h_thr, results,
+                                    counter, gbm, ends,
+                                )
+                                continue
+                            child_pips.append(pip)
+                            child_scores.append(score)
+                            if score >= h_thr or (
+                                gbm is not None and score >= sa
+                            ):
+                                if ends is None:
+                                    ends = self._locate_ends(child_rng)
+                                if score >= h_thr:
+                                    for e in ends:
+                                        results.add(
+                                            e, col, score, e - new_depth + 1
+                                        )
+                                if gbm is not None and score >= sa:
+                                    gbm.mark(ends, col)
+
+                    if gaps:
+                        char = code_chars[code]
+                        if reuse.enabled and len(gaps) > 1:
+                            new_frontiers = reuse.advance_forks(
+                                [frontier for _pip, frontier in gaps], char,
+                                query, m, scheme, live, counter,
+                            )
+                        else:
+                            # A lone fork (or disabled engine) cannot share
+                            # anything; skip the grouping machinery.
+                            new_frontiers = [
+                                advance_row(
+                                    frontier, char, query, m, scheme, live,
+                                    counter,
+                                )
+                                for _pip, frontier in gaps
+                            ]
+                        for (gap_pip, _old), frontier in zip(
+                            gaps, new_frontiers
+                        ):
+                            if not frontier:
+                                continue
+                            for j, (m_val, _ga) in frontier.items():
+                                # Defense in depth: phantom cells past
+                                # column m (a bad reuse copy) must never
+                                # become hits with p_end > len(query).
+                                if j > m:
+                                    continue
+                                if m_val >= h_thr or (
+                                    gbm is not None and m_val >= sa
+                                ):
+                                    if ends is None:
+                                        if child_rng is None:
+                                            base = c_list[code] + occ(
+                                                code, lo
+                                            )
+                                            child_rng = (base, base + count)
+                                        ends = self._locate_ends(child_rng)
+                                    if m_val >= h_thr:
+                                        for e in ends:
+                                            results.add(
+                                                e, j, m_val,
+                                                e - new_depth + 1,
+                                            )
+                                    if gbm is not None and m_val >= sa:
+                                        gbm.mark(ends, j)
+                            child_gaps.append((gap_pip, frontier))
+                    if child_pips or child_gaps:
+                        if child_rng is None:
+                            base = c_list[code] + occ(code, lo)
+                            child_rng = (base, base + count)
+                        if width == 1:
+                            descend = (child_rng, child_pips, child_scores,
+                                       child_gaps)
+                        else:
+                            add_node(
+                                (child_rng[0], child_rng[1], new_depth,
+                                 child_pips, child_scores, child_gaps, 0)
+                            )
+                if descend is None:
+                    break
+                child_rng, pips, scores, gaps = descend
+                lo, hi = child_rng
+                depth = new_depth
+                chain_age += 1
+        stats.nodes_visited += visited
+        counter.x1 += x1_charged
+
+    def _emit_fgoe_frontier(
+        self,
+        pip: int,
+        score: int,
+        bound: int,
+        new_depth: int,
+        child_rng: tuple[int, int],
+        child_gaps: list,
+        plan: FilterPlan,
+        h_thr: int,
+        results: ResultSet,
+        counter: CostCounter,
+        gbm: GlobalBitMatrix | None,
+        ends: list | None,
+    ) -> list | None:
+        """FGOE transition of one fork: build the row tail, emit its hits.
+
+        Returns the (possibly just-located) end-position list so the caller
+        keeps its lazy locate across forks of the same child.
+        """
+        frontier = fgoe_row_frontier(
+            score, pip + new_depth - 1, plan.m, self.scheme, bound, counter
+        )
+        child_gaps.append((pip, frontier))
+        sa = self.scheme.sa
+        for ccol, (m_val, _ga) in frontier.items():
+            if m_val >= h_thr or (gbm is not None and m_val >= sa):
+                if ends is None:
+                    ends = self._locate_ends(child_rng)
+                if m_val >= h_thr:
+                    for e in ends:
+                        results.add(e, ccol, m_val, e - new_depth + 1)
+                if gbm is not None and m_val >= sa:
+                    gbm.mark(ends, ccol)
+        return ends
+
+    def _locate_ends(self, child_rng: tuple[int, int]) -> list[int]:
+        """End positions of a child range as a list (batched when wide).
+
+        Narrow ranges take the scalar sampled-SA walk; wide ranges resolve
+        all rows per LF iteration through the batched locate.
+        """
+        lo, hi = child_rng
+        if hi - lo >= 6:
+            return self.csa.end_positions_array(child_rng).tolist()
+        return self.csa.end_positions(child_rng)
+
+    def _chain_text(
+        self,
+        lo: int,
+        depth: int,
+        pips: list[int],
+        scores: list[int],
+        gaps: list,
+        query: str,
+        vec_state: tuple,
+        plan: FilterPlan,
+        h_thr: int,
+        results: ResultSet,
+        stats: SearchStats,
+        counter: CostCounter,
+        reuse: ReuseEngine,
+        e: int | None = None,
+    ) -> None:
+        """Consume a unary chain straight off the text — no more FM work.
+
+        One locate (skipped when the caller already knows ``e`` from a
+        sampled-SA hit) turns the size-1 SA range into its occurrence end
+        ``e``; from there the whole remaining subtree is the text slice
+        ``T[e+1..]``: every chain character is a plain array read, the
+        single child is implicit, and every emission's end position is just
+        ``e + r`` — no LF walks, rank queries or existence scans.  Pure-NGR
+        stretches are scored by the vectorized diagonal run
+        (:meth:`_chain_run`); gap cones step row by row through the shared
+        sparse DP.  The chain is consumed to cohort death, text end or the
+        depth cap; nothing is ever pushed back on the caller's stack.
+        Accounting is bit-identical to the generic traversal (asserted by
+        the differential fuzz suite).  Only entered with the global bitmap
+        filter off (its marks need per-row locates the generic path does).
+        """
+        qcodes, qlist, live_rows = vec_state
+        csa = self.csa
+        scheme = self.scheme
+        sa, sb = scheme.sa, scheme.sb
+        m, h_budget = plan.m, plan.threshold
+        fgoe = plan.fgoe_bound
+        lmax = plan.lmax
+        use_sf = self.use_score_filter
+        use_lf = self.use_length_filter
+        code_chars = self._code_chars
+        row_live = plan.row_live_threshold
+        n_live = len(live_rows)
+        n = csa.n
+        tlist = csa.text_code_list()
+        if e is None:
+            e = csa.end_positions((lo, lo + 1))[0]
+        visited = 0
+        x1 = 0
+        while True:
+            if pips and not gaps:
+                run = self._chain_run(
+                    e, depth, pips, scores, qcodes, plan, h_thr, results,
+                    stats, counter,
+                )
+                if run is None:
+                    break
+                # The run consumed the pure-NGR stretch plus its first FGOE
+                # row; the resume node carries the fresh gap cone.
+                depth, e, pips, scores, gaps = run
+            new_depth = depth + 1
+            if use_lf and new_depth > lmax:
+                break
+            if e >= n:
+                break  # the occurrence ends the text: no further chain edge
+            code1 = tlist[e]
+            while pips and pips[-1] + depth > m:
+                pips.pop()
+                scores.pop()
+            k = len(pips)
+            if not k and not gaps:
+                break
+            live = (
+                live_rows[new_depth]
+                if new_depth < n_live
+                else row_live(new_depth, use_sf)
+            )
+            t_end = e + 1
+            child_pips: list = []
+            child_scores: list = []
+            child_gaps: list = []
+            if k:
+                x1 += k
+                for pip, fscore in zip(pips, scores):
+                    col = pip + depth
+                    score = fscore + (sa if qlist[col - 1] == code1 else sb)
+                    if use_sf:
+                        bound = h_budget - (m - col) * sa - 1
+                        if live > bound:
+                            bound = live
+                    else:
+                        bound = 0
+                    if score <= bound:
+                        continue
+                    if score > fgoe:
+                        frontier = fgoe_row_frontier(
+                            score, col, m, scheme, bound, counter
+                        )
+                        child_gaps.append((pip, frontier))
+                        for ccol, (m_val, _ga) in frontier.items():
+                            if m_val >= h_thr:
+                                results.add(
+                                    t_end, ccol, m_val, t_end - new_depth + 1
+                                )
+                        continue
+                    child_pips.append(pip)
+                    child_scores.append(score)
+                    if score >= h_thr:
+                        results.add(t_end, col, score, t_end - new_depth + 1)
+            if gaps:
+                char = code_chars[code1]
+                if reuse.enabled and len(gaps) > 1:
+                    new_frontiers = reuse.advance_forks(
+                        [fr for _p, fr in gaps], char, query, m, scheme,
+                        live, counter,
+                    )
+                else:
+                    # Single-fork / disabled advances cannot share anything;
+                    # skip the engine's grouping machinery (identical
+                    # results and accounting).
+                    new_frontiers = [
+                        advance_row(fr, char, query, m, scheme, live, counter)
+                        for _p, fr in gaps
+                    ]
+                for (gap_pip, _old), frontier in zip(gaps, new_frontiers):
+                    if not frontier:
+                        continue
+                    for j, (m_val, _ga) in frontier.items():
+                        # Phantom guard: see _advance_forks.
+                        if j > m:
+                            continue
+                        if m_val >= h_thr:
+                            results.add(
+                                t_end, j, m_val, t_end - new_depth + 1
+                            )
+                    child_gaps.append((gap_pip, frontier))
+            if not child_pips and not child_gaps:
+                break
+            pips, scores, gaps = child_pips, child_scores, child_gaps
+            depth = new_depth
+            e = t_end
+            visited += 1
+        stats.nodes_visited += visited
+        counter.x1 += x1
+
+    def _chain_run(
+        self,
+        e: int,
+        depth: int,
+        pips: list[int],
+        scores: list[int],
+        qcodes: np.ndarray,
+        plan: FilterPlan,
+        h_thr: int,
+        results: ResultSet,
+        stats: SearchStats,
+        counter: CostCounter,
+    ) -> tuple[int, int, list[int], list[int], list] | None:
+        """Score a pure-NGR cohort down an entire unary chain at once.
+
+        The current path's single occurrence ends at text position ``e``,
+        so every fork just walks its diagonal (Eq. 3) against the text
+        slice: one gather + cumsum scores all its remaining rows in one
+        shot, and the liveness bound is an arithmetic ramp (both Theorem 2
+        terms grow by ``sa`` per row, so their max is one intercept plus
+        the shared slope).
+
+        The run consumes the chain up to — and including — the first FGOE
+        crossing row (whose gap cone needs the sparse DP): it returns the
+        resume state ``(depth, e, pips, scores, gaps)`` holding the fresh
+        cone, or ``None`` when the cohort dies on the chain.  Node visits,
+        x1 charges and emissions replicate the scalar engine's step-by-step
+        accounting exactly.
+        """
+        csa = self.csa
+        scheme = self.scheme
+        sa, sb = scheme.sa, scheme.sb
+        m, h_budget = plan.m, plan.threshold
+        fgoe = plan.fgoe_bound
+        lmax = plan.lmax
+        use_sf = self.use_score_filter
+        n = csa.n
+        chain_len = n - e
+        if self.use_length_filter and lmax - depth < chain_len:
+            chain_len = lmax - depth
+        if chain_len <= 0:
+            return None
+        tc = csa.text_codes()[e : e + chain_len]
+        t_start = e - depth + 1  # constant: every chain hit starts here
+
+        k = len(pips)
+        # Most cohorts die within a handful of rows: score a 32-row trial
+        # block first and pay for the full chain only when a fork survives
+        # the whole block (real homology).  Prefix outcomes are final, so
+        # the retry recomputes identical values.
+        for span_cap in (32, chain_len):
+            cums: list = [None] * k
+            surv = [0] * k
+            died = [False] * k
+            spans = [0] * k
+            first_cross = chain_len  # earliest FGOE crossing row (0-based)
+            inconclusive = False
+            for i in range(k):
+                col0 = pips[i] + depth - 1
+                span = m - col0
+                if span > chain_len:
+                    span = chain_len
+                spans[i] = span
+                if span <= 0:
+                    continue
+                used = span if span < span_cap else span_cap
+                cum = scores[i] + np.cumsum(
+                    np.where(tc[:used] == qcodes[col0 : col0 + used], sa, sb)
+                )
+                cums[i] = cum
+                if use_sf:
+                    icept = h_budget - (m - col0) * sa - 1
+                    live_icept = h_budget - (lmax - depth) * sa - 1
+                    if live_icept > icept:
+                        icept = live_icept
+                    bnd = icept + sa * np.arange(1, used + 1, dtype=np.int64)
+                    alive = (cum > bnd) & (cum > 0)
+                else:
+                    alive = cum > 0
+                if alive.all():
+                    surv[i] = used
+                    if used < span:  # alive through the trial block
+                        inconclusive = True
+                else:
+                    surv[i] = int(np.argmin(alive))
+                    died[i] = True
+                if surv[i]:
+                    crossing = cum[: surv[i]] > fgoe
+                    if crossing.any():
+                        cross_at = int(np.argmax(crossing))
+                        if cross_at < first_cross:
+                            first_cross = cross_at
+            if not inconclusive:
+                break
+
+        s_max = max(surv)
+        crossing_found = first_cross < chain_len and first_cross <= s_max
+        consumed = first_cross if crossing_found else min(s_max + 1, chain_len)
+
+        charged = 0
+        for i in range(k):
+            charged += min(surv[i] + died[i], consumed)
+            cum = cums[i]
+            if cum is None:
+                continue
+            lim = min(surv[i], consumed)
+            if lim and int(cum[:lim].max()) >= h_thr:
+                base_col = pips[i] + depth
+                for r in np.nonzero(cum[:lim] >= h_thr)[0].tolist():
+                    results.add(e + r + 1, base_col + r, int(cum[r]), t_start)
+        counter.x1 += charged
+        stats.nodes_visited += min(s_max, consumed)
+        if not crossing_found:
+            return None
+
+        # ---- the crossing row itself (step consumed + 1) ----------------
+        cc = consumed
+        new_depth = depth + cc + 1
+        t_end = e + cc + 1
+        live = (
+            max(0, h_budget - (lmax - new_depth) * sa - 1) if use_sf else 0
+        )
+        stay_pips: list[int] = []
+        stay_scores: list[int] = []
+        gaps_out: list = []
+        charged2 = 0
+        for i in range(k):
+            if surv[i] < cc or spans[i] <= cc:
+                continue  # dead earlier, or silently out of columns
+            charged2 += 1
+            score = int(cums[i][cc]) if cc < spans[i] else 0
+            col = pips[i] + new_depth - 1
+            if use_sf:
+                bound = h_budget - (m - col) * sa - 1
+                if live > bound:
+                    bound = live
+            else:
+                bound = 0
+            if score <= bound:
+                continue
+            if score > fgoe:
+                frontier = fgoe_row_frontier(
+                    score, col, m, scheme, bound, counter
+                )
+                gaps_out.append((pips[i], frontier))
+                for ccol, (m_val, _ga) in frontier.items():
+                    if m_val >= h_thr:
+                        results.add(t_end, ccol, m_val, t_end - new_depth + 1)
+            else:
+                stay_pips.append(pips[i])
+                stay_scores.append(score)
+                if score >= h_thr:
+                    results.add(t_end, col, score, t_end - new_depth + 1)
+        counter.x1 += charged2
+        if not stay_pips and not gaps_out:
+            return None
+        stats.nodes_visited += 1  # the crossing row's node becomes current
+        return (new_depth, t_end, stay_pips, stay_scores, gaps_out)
 
     def _advance_forks(
         self,
@@ -399,6 +1318,11 @@ class ALAE:
                 if not frontier:
                     continue
                 for j, (m_val, _ga) in frontier.items():
+                    # Defense in depth: a frontier cell past column m can
+                    # only be a phantom from a bad reuse copy; it must never
+                    # become a reported hit with p_end > len(query).
+                    if j > m:
+                        continue
                     if m_val >= h_thr or (gbm is not None and m_val >= sa):
                         if ends is None:
                             ends = self.csa.end_positions(rng)
@@ -423,8 +1347,17 @@ class ALAE:
         covers for one short gap run; the window is therefore expanded
         (doubling the pad) until the recovered score reaches the hit's score
         or the window hits the start of the query.
+
+        Start-unknown hits (``t_start == START_UNKNOWN``) get a pessimistic
+        ``2 * len(query)`` text window; the sentinel is compared explicitly
+        rather than by falsiness (positions are 1-based, so 0 is only ever
+        the sentinel — but the explicit check keeps the invariant visible
+        and survives any future signed/optional start representation).
         """
-        t_lo = max(1, hit.t_start if hit.t_start else hit.t_end - 2 * len(query))
+        if hit.t_start != START_UNKNOWN:
+            t_lo = max(1, hit.t_start)
+        else:
+            t_lo = max(1, hit.t_end - 2 * len(query))
         text_window = self.text[t_lo - 1 : hit.t_end]
         span = hit.t_end - t_lo + 1 + abs(self.scheme.sg)
         while True:

@@ -57,6 +57,27 @@ class Fork:
         ]
 
 
+def split_cohort(
+    forks: "list[Fork]",
+) -> tuple[list[int], list[int], list[tuple[int, Frontier]]]:
+    """Partition seed forks into the vectorized traversal's cohort form.
+
+    Returns ``(pips, scores, gaps)``: the NGR cohort as parallel pip/score
+    lists (ascending pips — seeds arrive in column order) plus the gap
+    forks as ``(pip, frontier)`` pairs, in one pass.
+    """
+    pips: list[int] = []
+    scores: list[int] = []
+    gaps: list[tuple[int, Frontier]] = []
+    for fork in forks:
+        if fork.phase == NGR:
+            pips.append(fork.pip)
+            scores.append(fork.score)
+        else:
+            gaps.append((fork.pip, fork.frontier))
+    return pips, scores, gaps
+
+
 def fgoe_row_frontier(
     score: int,
     col: int,

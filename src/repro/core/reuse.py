@@ -40,8 +40,17 @@ def frontier_reuse_key(frontier: Frontier, query: str, m: int, scheme: ScoringSc
     # Upcoming query characters consumed by the diagonal moves.
     window = tuple(query[j] for j in cols if j < m)  # query[j] == P[j+1]
     # Right-edge divergence: how far can this row reach past the last column?
+    # One advance can first step diagonally past the last column (+sa) and
+    # only then open the horizontal gap chain, so the chain budget must
+    # include that diagonal gain: with the bare ``max_m + sg + ss`` budget,
+    # schemes with ``sa > -ss`` let two forks at different distances from
+    # column ``m`` both key as "far" and share an advance that actually
+    # diverges at the truncation boundary (the shifted copy gains phantom
+    # columns past ``m`` or loses legitimate cells).
     max_m = max(frontier[j][0] for j in cols)
-    reach = max(0, (max_m + scheme.sg + scheme.ss) // (-scheme.ss)) + 2
+    reach = (
+        max(0, (max_m + scheme.sa + scheme.sg + scheme.ss) // (-scheme.ss)) + 2
+    )
     room = m - cols[-1]
     edge = room if room <= reach else -1
     return (rel, window, edge)

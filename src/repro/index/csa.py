@@ -96,6 +96,69 @@ class ReversedTextIndex:
         """``(char, code)`` pairs accepted by :meth:`extend_code`."""
         return [(c, i + 1) for i, c in enumerate(self.alphabet.chars)]
 
+    def children(self, rng: tuple[int, int]) -> list[tuple[int, tuple[int, int]]]:
+        """All existing trie edges under a node as ``(code, child_range)``.
+
+        The vectorized traversal's replacement for ``sigma`` per-character
+        :meth:`extend_code` probes: a size-1 range names its unique child
+        directly (``bwt[lo]``), and wider ranges get every child range from
+        one pair of Occ-row lookups (:meth:`FMIndex.children_ranges`).
+        Codes are ``alphabet code + 1`` in ascending (= alphabetical) order,
+        matching the per-character probe order of the scalar traversal.
+        """
+        lo, hi = rng
+        fm = self._fm
+        if hi - lo == 1:
+            code, child = fm.single_child(lo)
+            return [(code, child)] if code else []
+        if hi <= lo:
+            return []
+        if hi - lo <= 8:
+            return fm.children_small(lo, hi)
+        lo_all, hi_all = fm.children_ranges(rng)
+        lo_list = lo_all.tolist()
+        hi_list = hi_all.tolist()
+        return [
+            (code, (lo_list[code], hi_list[code]))
+            for code in range(1, fm.sigma + 1)
+            if hi_list[code] > lo_list[code]
+        ]
+
+    def text_codes(self) -> np.ndarray:
+        """The text as shifted code points (``alphabet code + 1``, uint8).
+
+        Built lazily and cached: the unary-chain diagonal runs of the
+        vectorized engine read upcoming text characters straight from this
+        array instead of stepping the FM-index once per character.
+        """
+        codes = getattr(self, "_text_codes", None)
+        if codes is None:
+            codes = self.alphabet.encode(self.text) + np.uint8(1)
+            self._text_codes = codes
+        return codes
+
+    def text_code_list(self) -> list[int]:
+        """:meth:`text_codes` as a cached plain list (O(1) scalar reads).
+
+        The text-mode chain walk reads one character per row; plain list
+        indexing beats numpy scalar extraction by an order of magnitude
+        there.
+        """
+        codes = getattr(self, "_text_code_list", None)
+        if codes is None:
+            codes = self.text_codes().tolist()
+            self._text_code_list = codes
+        return codes
+
+    def query_codes(self, query: str) -> np.ndarray:
+        """``query`` as shifted code points (``alphabet code + 1``).
+
+        Matches the code space of :meth:`children` /:meth:`extend_code`, so
+        the engine's per-fork character comparisons become integer array
+        compares against a child's code.
+        """
+        return self.alphabet.encode(query).astype(np.int64) + 1
+
     def range_of(self, substring: str) -> tuple[int, int]:
         """SA range of ``substring`` as a path from the trie root."""
         rng = self.root()
@@ -127,6 +190,11 @@ class ReversedTextIndex:
                 continue
             ends.append(self.n - p)  # 0-based n-1-p, converted to 1-based
         return ends
+
+    def end_positions_array(self, rng: tuple[int, int]) -> np.ndarray:
+        """:meth:`end_positions` as an ndarray via the batched locate."""
+        pos = self._fm.locate_array(rng)
+        return self.n - pos[pos < self.n]
 
     # ----------------------------------------------------------------- size
     def size_bytes(self) -> dict[str, int]:

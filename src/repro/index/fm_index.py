@@ -71,7 +71,11 @@ class FMIndex:
             raise IndexError_("alphabets larger than 255 are not supported")
         # The BWT is kept as a bytes object: rank queries then reduce to the
         # C-speed bytes.count, which dominates backward-search performance.
+        # The uint8 array view over the same buffer feeds the vectorized
+        # paths (children_ranges, batched locate) without a copy.
         self._bwt = bytes(bwt.astype(np.uint8))
+        self._bwt_arr = np.frombuffer(self._bwt, dtype=np.uint8)
+        self._sa_pos: np.ndarray | None = None
         size = self.n + 1
 
         # C array: C[c] = #characters (including sentinel) strictly smaller.
@@ -124,6 +128,8 @@ class FMIndex:
         fm._occ_block = int(occ_block)
         fm._sa_sample = int(sa_sample)
         fm._bwt = np.asarray(bwt, dtype=np.uint8).tobytes()
+        fm._bwt_arr = np.frombuffer(fm._bwt, dtype=np.uint8)
+        fm._sa_pos = None
         fm._C = np.asarray(c_array, dtype=np.int64)
         occ_ckpt = np.asarray(occ_ckpt)
         expected_rows = (fm.n + 1) // fm._occ_block + 1
@@ -200,6 +206,75 @@ class FMIndex:
             return EMPTY
         return (new_lo, new_hi)
 
+    def occ_row(self, i: int) -> np.ndarray:
+        """``Occ(c, i)`` for every code ``c`` in ``[0, sigma]`` at once.
+
+        One checkpoint-row fetch plus a single ``bincount`` over the block
+        remainder replaces ``sigma + 1`` scalar :meth:`occ` calls.
+        """
+        block = self._occ_block
+        b = i // block
+        row = self._occ_ckpt[b]
+        lo = b * block
+        if lo == i:
+            return row
+        return row + np.bincount(self._bwt_arr[lo:i], minlength=self.sigma + 1)
+
+    def children_ranges(
+        self, rng: tuple[int, int]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """SA ranges of ``c + pattern`` for every code ``c`` at once.
+
+        Returns ``(lo_all, hi_all)`` arrays indexed by code: the range of
+        code ``c``'s extension is ``(lo_all[c], hi_all[c])`` (empty when
+        ``hi <= lo``).  Computed from one pair of Occ-row lookups instead of
+        ``sigma`` :meth:`extend_left` calls (two rank queries each), which
+        is what the suffix-trie traversal pays per visited node.  Index 0 is
+        the sentinel's pseudo-extension and is never a real trie edge.
+        """
+        lo, hi = rng
+        c_lead = self._C[: self.sigma + 1]
+        lo_all = c_lead + self.occ_row(lo)
+        hi_all = c_lead + self.occ_row(hi)
+        return lo_all, hi_all
+
+    def children_small(
+        self, lo: int, hi: int
+    ) -> list[tuple[int, tuple[int, int]]]:
+        """Children of a narrow range by scanning its BWT slice directly.
+
+        The distinct codes in ``bwt[lo:hi]`` are exactly the left-extensions
+        of the range's pattern, and each child's width is that code's count
+        in the slice — so a narrow node needs one rank query per *present*
+        child (typically 1-2 deep in the trie) instead of a full Occ-row
+        pair.  Caller guarantees ``hi - lo`` is small; results are identical
+        to :meth:`children_ranges`.
+        """
+        seg = self._bwt[lo:hi]
+        c_list = self._C_list
+        out = []
+        for c in sorted(set(seg)):
+            if c == 0:
+                continue
+            new_lo = c_list[c] + self.occ(c, lo)
+            out.append((c, (new_lo, new_lo + seg.count(c))))
+        return out
+
+    def single_child(self, lo: int) -> tuple[int, tuple[int, int]]:
+        """The unique extension of a size-1 SA range ``[lo, lo + 1)``.
+
+        A pattern with exactly one occurrence has at most one left-extension
+        and its code is simply ``bwt[lo]`` — no rank query is needed to
+        *discover* it, and one suffices to place it.  Returns ``(code,
+        range)``; code 0 means the occurrence starts the text (sentinel), so
+        there is no extension.
+        """
+        c = self._bwt[lo]
+        if c == 0:
+            return 0, EMPTY
+        new_lo = self._C_list[c] + self.occ(c, lo)
+        return c, (new_lo, new_lo + 1)
+
     def full_range(self) -> tuple[int, int]:
         """SA range of the empty pattern (every suffix)."""
         return (0, self.n + 1)
@@ -228,10 +303,90 @@ class FMIndex:
             steps += 1
         return (self._sa_samples[r] + steps) % (self.n + 1)
 
+    #: Below this range width the per-call numpy overhead of the batched
+    #: walk exceeds the scalar walk's cost; both produce identical output.
+    _BATCH_LOCATE_MIN = 6
+
+    def _sa_pos_array(self) -> np.ndarray:
+        """Sampled SA as a dense row-indexed array (-1 = unsampled).
+
+        Built lazily on first batched locate: the dict stays the scalar hot
+        path's O(1) structure, the array is what lets one iteration resolve
+        every sampled row of a batch with a single gather.
+        """
+        arr = self._sa_pos
+        if arr is None:
+            arr = np.full(self.n + 2, -1, dtype=np.int64)
+            if self._sa_samples:
+                rows = np.fromiter(
+                    self._sa_samples.keys(), np.int64, len(self._sa_samples)
+                )
+                arr[rows] = np.fromiter(
+                    self._sa_samples.values(), np.int64, len(self._sa_samples)
+                )
+            self._sa_pos = arr
+        return arr
+
+    def locate_array(self, rng: tuple[int, int]) -> np.ndarray:
+        """Text positions of every suffix in ``[lo, hi)`` as an ndarray.
+
+        Wide ranges walk the LF mapping for *all* unresolved rows per
+        iteration: one gather against the dense sampled-SA array resolves
+        the rows that hit a sample, one batched LF step (checkpoint-row
+        gather + in-block mask count) advances the rest.  Narrow ranges
+        fall back to the scalar :meth:`locate_row` walk, which is cheaper
+        below ``_BATCH_LOCATE_MIN`` rows; results are identical.
+        """
+        lo, hi = rng
+        count = hi - lo
+        if count <= 0:
+            return np.empty(0, dtype=np.int64)
+        if count < self._BATCH_LOCATE_MIN or self._occ_block > 4096:
+            return np.array(
+                [self.locate_row(r) for r in range(lo, hi)], dtype=np.int64
+            )
+        size = self.n + 1
+        sa_pos = self._sa_pos_array()
+        block = self._occ_block
+        bwt_arr = self._bwt_arr
+        ckpt = self._occ_ckpt
+        c_arr = self._C
+        in_block = np.arange(block, dtype=np.int64)
+        rows = np.arange(lo, hi, dtype=np.int64)
+        out = np.empty(count, dtype=np.int64)
+        pending = np.arange(count)
+        steps = 0
+        while pending.size:
+            r = rows[pending]
+            pos = sa_pos[r]
+            resolved = pos >= 0
+            if resolved.any():
+                out[pending[resolved]] = pos[resolved] + steps
+                keep = ~resolved
+                pending = pending[keep]
+                if not pending.size:
+                    break
+                r = r[keep]
+            # Batched LF: rows[p] <- C[c] + Occ(c, row) for c = bwt[row].
+            c = bwt_arr[r].astype(np.int64)
+            b = r // block
+            starts = b * block
+            offs = starts[:, None] + in_block[None, :]
+            np.minimum(offs, size - 1, out=offs)
+            rem = ((bwt_arr[offs] == c[:, None]) & (offs < r[:, None])).sum(
+                axis=1
+            )
+            rows[pending] = c_arr[c] + ckpt[b, c] + rem
+            steps += 1
+        out %= size
+        return out
+
     def locate(self, rng: tuple[int, int]) -> list[int]:
         """Text positions of every suffix in the SA range ``[lo, hi)``."""
         lo, hi = rng
-        return [self.locate_row(r) for r in range(lo, hi)]
+        if hi - lo < self._BATCH_LOCATE_MIN or self._occ_block > 4096:
+            return [self.locate_row(r) for r in range(lo, hi)]
+        return self.locate_array(rng).tolist()
 
     # ----------------------------------------------------------------- size
     def size_bytes(self) -> dict[str, int]:

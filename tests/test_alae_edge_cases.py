@@ -3,7 +3,12 @@
 import pytest
 
 from repro import ALAE, DEFAULT_SCHEME, DNA, PROTEIN, ScoringScheme
+from repro.align.recurrences import NEG, CostCounter
 from repro.align.smith_waterman import smith_waterman_all_hits
+from repro.align.types import START_UNKNOWN, Hit, ResultSet, SearchStats
+from repro.core.filters import make_filter_plan
+from repro.core.forks import GAP, Fork
+from repro.core.reuse import ReuseEngine
 from repro.errors import AlphabetError, SearchError
 
 
@@ -138,6 +143,107 @@ class TestMaterialize:
         alignment = engine.materialize(best, query)
         assert alignment.score >= best.score
         assert alignment.ops.count("I") == 8  # both insertion runs survive
+
+
+class TestPhantomColumnGuard:
+    """Defense in depth: frontier cells past column m must never be hits.
+
+    The reuse-key fix stops bad shifted copies at the source, but a phantom
+    column that somehow reaches a GAP frontier must still be dropped at
+    emission time rather than reported as a hit with ``p_end > len(query)``.
+    """
+
+    class _PhantomReuse:
+        """A reuse engine returning a copy with columns past the query end.
+
+        Emulates the pre-fix Sec. 4 failure mode: a truncation-divergent
+        shifted copy whose tail extends beyond column ``m``.
+        """
+
+        enabled = True
+
+        def __init__(self, m):
+            self.m = m
+
+        def advance_forks(self, frontiers, *args, **kwargs):
+            return [
+                {self.m: (6, NEG), self.m + 1: (6, NEG)} for _ in frontiers
+            ]
+
+    def test_scalar_gap_emission_guards_p_end(self):
+        text = "GCTAGCTAGCAT"
+        query = "GCTAG"
+        engine = ALAE(text, use_vectorized=False)
+        m = len(query)
+        plan = make_filter_plan(engine.scheme, m, 3)
+        results = ResultSet()
+        gap_fork = Fork(pip=1, phase=GAP, frontier={3: (5, NEG)})
+        engine._advance_forks(
+            [gap_fork], "C", query, 3, plan, 3, CostCounter("alae"),
+            self._PhantomReuse(m), engine.csa.range_of("G"), results,
+            SearchStats(), None,
+        )
+        hits = results.hits()
+        assert len(hits) > 0  # the in-range cell at column m is reported
+        assert all(hit.p_end <= m for hit in hits)
+
+    def test_search_never_reports_past_query_end(self):
+        # End-to-end sweep over both engines on a hit-dense configuration.
+        text = "AACCAAACCCAAAACCCCAAAAA"
+        query = "AAAA"
+        for vec in (False, True):
+            res = ALAE(text, use_vectorized=vec).search(query, threshold=1)
+            assert len(res.hits) > 0
+            assert all(hit.p_end <= len(query) for hit in res.hits)
+
+
+class TestMaterializeStartSentinel:
+    """Regression: start-unknown hits must be detected by explicit sentinel.
+
+    ``hit.t_start if hit.t_start else ...`` conflated the 0 sentinel with
+    falsiness — the exact pattern PR 3 eradicated from ``locate_hit``.  The
+    window fallback must trigger exactly on ``t_start == START_UNKNOWN``.
+    """
+
+    def test_start_unknown_hit_materializes(self):
+        text = "TTTT" + "GATTACAGATTACA" + "TTTT"
+        query = "GATTACAGATTACA"
+        engine = ALAE(text)
+        best = engine.search(query, threshold=10).hits.best()
+        assert best is not None and best.t_start != START_UNKNOWN
+        # Strip the start: the engine must fall back to the pessimistic
+        # window and still recover the full alignment score.
+        unknown = Hit(
+            t_end=best.t_end, p_end=best.p_end, score=best.score,
+            t_start=START_UNKNOWN,
+        )
+        alignment = engine.materialize(unknown, query)
+        assert alignment.score >= best.score
+
+    def test_known_start_uses_tight_window(self):
+        text = "A" * 30 + "GATTACA" + "C" * 30
+        engine = ALAE(text)
+        best = engine.search("GATTACA", threshold=6).hits.best()
+        assert best is not None
+        assert best.t_start == 31
+        alignment = engine.materialize(best, "GATTACA")
+        assert alignment.score >= best.score
+
+
+class TestVectorizedToggleContract:
+    def test_toggle_exposed_and_default_on(self):
+        engine = ALAE("GCTAGCTA")
+        assert engine.use_vectorized is True
+        ref = ALAE("GCTAGCTA", use_vectorized=False)
+        assert ref.use_vectorized is False
+
+    def test_from_prebuilt_carries_toggle(self):
+        engine = ALAE("GCTAGCTAGCAT")
+        rebuilt = ALAE.from_prebuilt(engine.csa, use_vectorized=False)
+        assert rebuilt.use_vectorized is False
+        a = rebuilt.search("GCTAG", threshold=4)
+        b = engine.search("GCTAG", threshold=4)
+        assert a.hits.hits() == b.hits.hits()
 
 
 class TestStatsContract:

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import ALAE, DEFAULT_SCHEME, smith_waterman_all_hits
+from repro import ALAE, DEFAULT_SCHEME, DNA, ScoringScheme, smith_waterman_all_hits
 from repro.align.recurrences import NEG, CostCounter, advance_row
 from repro.core.reuse import ReuseEngine, frontier_reuse_key
 
@@ -46,6 +46,92 @@ class TestReuseKey:
         # A score of 30 can reach past column 8 from either start, so the
         # edge distances (6 vs 2) must differ and so must the keys.
         assert k_far != k_near
+
+
+class TestRightEdgeReachBound:
+    """Regression: the reach bound must cover the diagonal step (+sa).
+
+    A row advance can first step diagonally past the last column and only
+    then open the horizontal gap chain, so with schemes where ``sa > -ss``
+    the bare ``(max_m + sg + ss) // (-ss) + 2`` budget classed two forks at
+    genuinely divergent distances from column ``m`` both as "far" and let
+    them share one advance.  The shifted copy then gained phantom columns
+    past ``m`` (reported as hits with ``p_end > len(query)``) or lost
+    legitimate cells at the truncation boundary.
+    """
+
+    def test_truncation_divergent_forks_key_apart(self):
+        # sa = 3 > -ss = 1: the diagonal step reaches 3 extra chain columns.
+        scheme = ScoringScheme(3, -3, -2, -1)
+        query = "A" * 10
+        fr_near = {6: (4, NEG)}  # room 4: the chain is truncated at m = 10
+        fr_far = {5: (4, NEG)}  # room 5: one more legitimate cell survives
+        k_near = frontier_reuse_key(fr_near, query, len(query), scheme)
+        k_far = frontier_reuse_key(fr_far, query, len(query), scheme)
+        assert k_near != k_far
+
+    def test_shared_advance_matches_direct_at_truncation(self):
+        # Failing-first shape of the bug: under the old bound both frontiers
+        # keyed ("far", -1), the memo copied the near fork's truncated row
+        # onto the far fork and dropped its column-10 cell.
+        scheme = ScoringScheme(3, -3, -2, -1)
+        query = "A" * 10
+        frontiers = [{6: (4, NEG)}, {5: (4, NEG)}]
+        engine = ReuseEngine(enabled=True)
+        shared = engine.advance_forks(
+            [dict(fr) for fr in frontiers], "A", query, len(query), scheme, 0, None
+        )
+        direct = [
+            advance_row(dict(fr), "A", query, len(query), scheme, 0, None)
+            for fr in frontiers
+        ]
+        assert shared == direct
+
+    @pytest.mark.parametrize(
+        "text,query",
+        [
+            ("CCAAAACACAACCAACAACAACCCCCAA", "A" * 12),
+            ("ACACAAAAAAACACACCCCAACAACACACACCAAAACCCCCAA", "A" * 14),
+            ("AACCCACAAAAAAACCACCCCCCAAAAACACCC", "A" * 13),
+        ],
+    )
+    def test_engine_no_phantom_hits_past_query_end(self, text, query):
+        # End-to-end repro: with the old bound each of these searches
+        # reported a phantom hit with p_end == len(query) + 1.
+        scheme = ScoringScheme(5, -5, -4, -2)  # sa = 5 > -ss = 2
+        sw = smith_waterman_all_hits(text, query, scheme, 1)
+        res = ALAE(text, DNA, scheme, use_reuse=True).search(query, threshold=1)
+        assert res.hits.as_score_set() == sw.as_score_set()
+        assert all(hit.p_end <= len(query) for hit in res.hits)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_property_reuse_on_off_equivalence_random_schemes(self, seed):
+        # Random schemes *including* sa > -ss, near-periodic queries (the
+        # fork-collision regime), reuse on vs off vs Smith-Waterman.
+        rng = np.random.default_rng(seed)
+        sa = int(rng.integers(1, 6))
+        scheme = ScoringScheme(
+            sa,
+            -int(rng.integers(1, 6)),
+            -int(rng.integers(1, 6)),
+            -int(rng.integers(1, max(2, sa + 1))),  # biased towards -ss <= sa
+        )
+        n = int(rng.integers(20, 90))
+        text = "".join(DNA.chars[c] for c in rng.integers(0, 2, n))
+        period = int(rng.integers(1, 4))
+        m = int(rng.integers(6, 18))
+        query = (("ACG"[:period]) * m)[:m]
+        for threshold in (1, 2, scheme.sa + 1):
+            sw = smith_waterman_all_hits(text, query, scheme, threshold)
+            on = ALAE(text, DNA, scheme, use_reuse=True).search(
+                query, threshold=threshold
+            )
+            off = ALAE(text, DNA, scheme, use_reuse=False).search(
+                query, threshold=threshold
+            )
+            assert on.hits.as_score_set() == sw.as_score_set()
+            assert off.hits.as_score_set() == sw.as_score_set()
+            assert all(hit.p_end <= len(query) for hit in on.hits)
 
 
 class TestReuseEngineEquivalence:
