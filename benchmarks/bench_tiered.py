@@ -1,0 +1,245 @@
+"""Tiered-mode benchmark: ALAE vs BWT-SW vs BLAST vs the verified tier.
+
+Times every serving mode of the backend registry on the paper's Sec. 7
+workload shape (homologous queries over a synthetic text) for both
+alphabets the paper evaluates:
+
+* DNA (sigma = 4), default scheme ``<1,-3,-5,-2>``;
+* protein (sigma = 20), scheme ``<1,-3,-11,-1>`` (Sec. 7.5).
+
+Four configurations per component:
+
+* ``exact/alae`` — the engine of record (position-ordered, bit-exact);
+* ``exact/bwtsw`` — the BWT-SW baseline answering the same question;
+* ``fast/blast`` — seed-and-extend candidate generation (score-ranked);
+* ``verified`` — fast candidates rescored by windowed exact DPs, with
+  measured recall against the exact answer.
+
+Every verified run is also *checked*: its hits must be a subset of the
+exact engine's hits with bit-equal scores and start attributions, and
+BWT-SW must agree with ALAE cell-for-cell — a speed number obtained by
+diverging from the exact answer is a hard failure, not a win.
+
+The JSON report seeds the repo's tiered baseline (``BENCH_tiered.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_tiered.py --out BENCH_tiered.json
+
+CI regression gate (machine-independent: compares measured *recall* and
+exact-answer agreement, never absolute times)::
+
+    PYTHONPATH=src python benchmarks/bench_tiered.py --check BENCH_tiered.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro.align.bwt_sw import BwtSw
+from repro.alphabet import DNA, PROTEIN
+from repro.blast.engine import Blast
+from repro.core.alae import ALAE
+from repro.engine import VerifiedBackend
+from repro.scoring.scheme import DEFAULT_SCHEME, ScoringScheme
+from repro.workloads.generator import make_workload
+
+#: Schema version of the emitted JSON.
+BENCH_SCHEMA = 1
+
+#: CI fails when a component's measured recall drops more than this far
+#: below the committed baseline (recall is workload-deterministic, so any
+#: drop means the fast tier lost candidates it used to propose).
+RECALL_TOLERANCE = 0.05
+
+COMPONENTS = [
+    {
+        "name": "dna",
+        "alphabet": DNA,
+        "scheme": DEFAULT_SCHEME,
+        "n": 20_000,
+        "query_length": 100,
+        "threshold": 30,
+        "word_size": 11,
+    },
+    {
+        "name": "protein",
+        "alphabet": PROTEIN,
+        "scheme": ScoringScheme(1, -3, -11, -1),
+        "n": 10_000,
+        "query_length": 80,
+        "threshold": 15,
+        "word_size": 4,
+    },
+]
+
+
+def _hit_map(result):
+    return {
+        (hit.t_end, hit.p_end): (hit.score, hit.t_start)
+        for hit in result.hits.hits()
+    }
+
+
+def time_searcher(search, queries, threshold, reps):
+    """Median per-query seconds over ``reps`` passes of the whole batch."""
+    samples = []
+    for _ in range(reps):
+        started = time.perf_counter()
+        for query in queries:
+            search(query, threshold=threshold)
+        samples.append((time.perf_counter() - started) / len(queries))
+    return statistics.median(samples)
+
+
+def run_component(spec, query_count, reps):
+    workload = make_workload(
+        spec["n"], spec["query_length"], query_count=query_count,
+        alphabet=spec["alphabet"], cached=False,
+    )
+    text, queries = workload.text, workload.queries
+    threshold = spec["threshold"]
+    alae = ALAE(text, spec["alphabet"], spec["scheme"])
+    bwtsw = BwtSw(text, spec["alphabet"], spec["scheme"])
+    blast = Blast(
+        text, alphabet=spec["alphabet"], scheme=spec["scheme"],
+        word_size=spec["word_size"],
+    )
+    verified = VerifiedBackend(blast, alae)
+
+    # Correctness gates + warmup before any timing.
+    exact_hits = fast_hits = verified_hits = 0
+    for query in queries:
+        exact = alae.search(query, threshold=threshold)
+        exact_map = _hit_map(exact)
+        baseline = bwtsw.search(query, threshold=threshold)
+        if _hit_map(baseline) != exact_map:
+            raise SystemExit(
+                f"[{spec['name']}] BWT-SW diverged from ALAE at H={threshold}"
+            )
+        ver = verified.search(query, threshold=threshold)
+        for cell, payload in _hit_map(ver).items():
+            if exact_map.get(cell) != payload:
+                raise SystemExit(
+                    f"[{spec['name']}] verified hit {cell} is not a "
+                    f"bit-equal subset of exact at H={threshold}"
+                )
+        fast = blast.search(query, threshold=threshold)
+        exact_hits += len(exact.hits)
+        fast_hits += len(fast.hits)
+        verified_hits += len(ver.hits)
+
+    recall = (
+        verified_hits / exact_hits if exact_hits else 1.0
+    )
+    modes = []
+    for label, search in (
+        ("exact/alae", alae.search),
+        ("exact/bwtsw", bwtsw.search),
+        ("fast/blast", blast.search),
+        ("verified", verified.search),
+    ):
+        seconds = time_searcher(search, queries, threshold, reps)
+        modes.append(
+            {"mode": label, "ms_per_query": round(seconds * 1e3, 3)}
+        )
+    exact_ms = modes[0]["ms_per_query"]
+    for row in modes:
+        row["speedup_vs_exact"] = round(exact_ms / row["ms_per_query"], 3)
+    return {
+        "name": spec["name"],
+        "sigma": spec["alphabet"].size,
+        "scheme": str(spec["scheme"]),
+        "n": spec["n"],
+        "query_length": spec["query_length"],
+        "query_count": query_count,
+        "threshold": threshold,
+        "word_size": spec["word_size"],
+        "exact_hits": exact_hits,
+        "fast_hits": fast_hits,
+        "verified_hits": verified_hits,
+        "recall_vs_exact": round(recall, 4),
+        "modes": modes,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--queries", type=int, default=4)
+    parser.add_argument("--reps", type=int, default=3)
+    parser.add_argument("--out", type=Path, default=None)
+    parser.add_argument(
+        "--check", type=Path, default=None,
+        help="baseline BENCH_tiered.json to gate regressions against",
+    )
+    args = parser.parse_args()
+
+    components = [
+        run_component(spec, args.queries, args.reps) for spec in COMPONENTS
+    ]
+    report = {
+        "schema": BENCH_SCHEMA,
+        "bench": "tiered",
+        "components": components,
+    }
+
+    for comp in components:
+        print(
+            f"[{comp['name']}] n={comp['n']} H={comp['threshold']} "
+            f"w={comp['word_size']} exact_hits={comp['exact_hits']} "
+            f"fast_hits={comp['fast_hits']} recall={comp['recall_vs_exact']}"
+        )
+        for row in comp["modes"]:
+            print(
+                f"  {row['mode']:<12} {row['ms_per_query']:9.2f} ms/query "
+                f"({row['speedup_vs_exact']:.2f}x vs exact)"
+            )
+
+    if args.out is not None:
+        args.out.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.out}")
+
+    if args.check is not None:
+        baseline = json.loads(args.check.read_text())
+        failed = False
+        for base_comp in baseline["components"]:
+            current = next(
+                (c for c in components if c["name"] == base_comp["name"]),
+                None,
+            )
+            if current is None:
+                print(f"REGRESSION CHECK: component {base_comp['name']} missing")
+                failed = True
+                continue
+            floor = base_comp["recall_vs_exact"] - RECALL_TOLERANCE
+            status = (
+                "ok" if current["recall_vs_exact"] >= floor else "REGRESSED"
+            )
+            print(
+                f"  check [{base_comp['name']}]: recall "
+                f"{current['recall_vs_exact']:.4f} vs baseline "
+                f"{base_comp['recall_vs_exact']:.4f} (floor {floor:.4f}) "
+                f"-> {status}"
+            )
+            if current["recall_vs_exact"] < floor:
+                failed = True
+            if current["exact_hits"] != base_comp["exact_hits"]:
+                print(
+                    f"  check [{base_comp['name']}]: exact_hits "
+                    f"{current['exact_hits']} != baseline "
+                    f"{base_comp['exact_hits']} -> REGRESSED "
+                    f"(exact answer changed)"
+                )
+                failed = True
+        if failed:
+            print("tiered benchmark REGRESSED vs committed baseline")
+            return 1
+        print("regression check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,29 +19,13 @@ from repro.align.types import ResultSet, SearchResult, SearchStats
 from repro.alphabet import DNA, Alphabet
 from repro.errors import SearchError
 from repro.index.csa import EMPTY_RANGE, ReversedTextIndex
-from repro.scoring.evalue import KarlinAltschul
+from repro.scoring.evalue import resolve_threshold
 from repro.scoring.scheme import DEFAULT_SCHEME, ScoringScheme
 
-
-def resolve_threshold(
-    threshold: int | None,
-    e_value: float | None,
-    scheme: ScoringScheme,
-    sigma: int,
-    m: int,
-    n: int,
-) -> int:
-    """Resolve an explicit score threshold or an E-value into ``H`` (Sec. 7)."""
-    if threshold is not None and e_value is not None:
-        raise SearchError("pass either threshold or e_value, not both")
-    if threshold is not None:
-        if threshold < 1:
-            raise SearchError(f"threshold must be >= 1, got {threshold}")
-        return int(threshold)
-    if e_value is None:
-        e_value = 10.0  # the BLAST / BWT-SW default
-    stats = KarlinAltschul.from_scheme(scheme, sigma)
-    return stats.score_threshold(e_value, m, n)
+# Deprecated import location: ``resolve_threshold`` lives in
+# :mod:`repro.scoring.evalue` (threshold resolution is scoring policy, not a
+# property of this engine).  The re-export keeps external callers working.
+__all__ = ["BwtSw", "resolve_threshold"]
 
 
 class BwtSw:

@@ -58,6 +58,21 @@ class CostCounter:
         else:
             self.x1 += 1
 
+    def charge(self, live_inputs: int, count: int) -> None:
+        """Record ``count`` identical entries in one call.
+
+        Bulk form of :meth:`cell` for engines that compute whole regions at
+        a known cost class — BLAST's ungapped diagonal walk (one input per
+        step, x1) and its windowed gapped DP (all three inputs per cell,
+        x3) charge entire extensions at once instead of per cell.
+        """
+        if self._bwtsw or live_inputs >= 3:
+            self.x3 += count
+        elif live_inputs == 2:
+            self.x2 += count
+        else:
+            self.x1 += count
+
     @property
     def total(self) -> int:
         return self.x1 + self.x2 + self.x3

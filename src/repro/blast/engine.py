@@ -12,13 +12,14 @@ from __future__ import annotations
 
 import time
 
-from repro.align.bwt_sw import resolve_threshold
+from repro.align.recurrences import CostCounter
 from repro.align.types import ResultSet, SearchResult, SearchStats
 from repro.alphabet import DNA, Alphabet
 from repro.blast.extension import gapped_extension, ungapped_xdrop
 from repro.blast.seeding import find_seeds
 from repro.errors import SearchError
 from repro.index.kmer_index import KmerIndex
+from repro.scoring.evalue import resolve_threshold
 from repro.scoring.scheme import DEFAULT_SCHEME, ScoringScheme
 
 
@@ -32,6 +33,10 @@ class Blast:
         sensitivity and cost).
     x_drop_ungapped / gap_trigger / gapped_margin:
         Extension controls; defaults scale with the scheme's match score.
+    index:
+        An already-built :class:`KmerIndex` over ``text`` with
+        ``k == word_size`` (e.g. the aux section of a persistent
+        :class:`~repro.store.IndexStore`); omitted, the index is built here.
     """
 
     def __init__(
@@ -43,6 +48,7 @@ class Blast:
         x_drop_ungapped: int | None = None,
         gap_trigger: int | None = None,
         gapped_margin: int = 60,
+        index: KmerIndex | None = None,
     ) -> None:
         if word_size < 1:
             raise SearchError(f"word_size must be >= 1, got {word_size}")
@@ -56,7 +62,19 @@ class Blast:
         )
         self.gap_trigger = gap_trigger
         self.gapped_margin = gapped_margin
-        self._index = KmerIndex(text, word_size)
+        if index is not None:
+            if index.k != word_size:
+                raise SearchError(
+                    f"prebuilt kmer index has k={index.k}, engine word_size "
+                    f"is {word_size}"
+                )
+            if len(index.text) != len(text):
+                raise SearchError(
+                    "prebuilt kmer index was built over a different text"
+                )
+            self._index = index
+        else:
+            self._index = KmerIndex(text, word_size)
 
     def search(
         self,
@@ -77,6 +95,7 @@ class Blast:
         )
 
         started = time.perf_counter()
+        counter = CostCounter()
         stats = SearchStats()
         results = ResultSet()
         seeds = extensions = gapped = 0
@@ -88,7 +107,8 @@ class Blast:
             if covered.get(seed.diagonal, 0) >= seed.t_start + seed.length - 1:
                 continue
             segment = ungapped_xdrop(
-                self.text, query, seed, self.scheme, self.x_drop_ungapped
+                self.text, query, seed, self.scheme, self.x_drop_ungapped,
+                counter=counter,
             )
             extensions += 1
             covered[seed.diagonal] = max(
@@ -96,22 +116,36 @@ class Blast:
             )
             if segment.score < trigger and segment.score < h_thr:
                 continue
-            if segment.score >= h_thr:
+            gapped += 1
+            alignment, t_off, q_off = gapped_extension(
+                self.text, query, segment, self.scheme, self.gapped_margin,
+                counter=counter,
+            )
+            gapped_cell = (t_off + alignment.s1_end, q_off + alignment.s2_end)
+            same_endpoint = gapped_cell == (segment.t_end, segment.q_end)
+            if alignment.score >= h_thr:
+                # Both phases can clear H on the *same* (t_end, q_end)
+                # endpoint (the gapped DP rediscovering its own seed
+                # segment); fold them into one add — best score, earliest
+                # start on ties — instead of hitting the accumulator twice.
+                start = t_off + alignment.s1_start
+                if (
+                    same_endpoint
+                    and segment.score == alignment.score
+                    and segment.t_start < start
+                ):
+                    start = segment.t_start
+                results.add(
+                    gapped_cell[0], gapped_cell[1], alignment.score, start
+                )
+            if segment.score >= h_thr and not same_endpoint:
                 results.add(
                     segment.t_end, segment.q_end, segment.score, segment.t_start
                 )
-            gapped += 1
-            alignment, t_off, q_off = gapped_extension(
-                self.text, query, segment, self.scheme, self.gapped_margin
-            )
-            if alignment.score >= h_thr:
-                results.add(
-                    t_off + alignment.s1_end,
-                    q_off + alignment.s2_end,
-                    alignment.score,
-                    t_off + alignment.s1_start,
-                )
 
+        stats.calculated_x1 = counter.x1
+        stats.calculated_x2 = counter.x2
+        stats.calculated_x3 = counter.x3
         stats.extra.update(
             {"seeds": seeds, "ungapped_extensions": extensions, "gapped": gapped}
         )

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.align.recurrences import CostCounter
 from repro.align.smith_waterman import PairwiseAlignment, align_pair
 from repro.blast.seeding import Seed
 from repro.scoring.scheme import ScoringScheme
@@ -29,11 +30,22 @@ class UngappedSegment:
 
 
 def ungapped_xdrop(
-    text: str, query: str, seed: Seed, scheme: ScoringScheme, x_drop: int
+    text: str,
+    query: str,
+    seed: Seed,
+    scheme: ScoringScheme,
+    x_drop: int,
+    counter: CostCounter | None = None,
 ) -> UngappedSegment:
-    """Extend ``seed`` along its diagonal with X-drop termination."""
+    """Extend ``seed`` along its diagonal with X-drop termination.
+
+    ``counter`` (when given) is charged one x1 entry per diagonal cell the
+    walk evaluates — each step reads a single recurrence input (the running
+    diagonal score), Table 4's cheapest class.
+    """
     sa, sb = scheme.sa, scheme.sb
     score = seed.length * sa
+    steps = 0
 
     # Rightward from the seed's last matched pair.
     t, q = seed.t_start + seed.length - 1, seed.q_start + seed.length - 1
@@ -44,6 +56,7 @@ def ungapped_xdrop(
         run += sa if text[ti] == query[qi] else sb
         ti += 1
         qi += 1
+        steps += 1
         if run > best:
             best, best_t, best_q = run, ti, qi
         elif best - run > x_drop:
@@ -57,12 +70,15 @@ def ungapped_xdrop(
     ti, qi = seed.t_start - 1, seed.q_start - 1
     while ti >= 1 and qi >= 1:
         run += sa if text[ti - 1] == query[qi - 1] else sb
+        steps += 1
         if run > best_left:
             best_left, best_t0, best_q0 = run, ti, qi
         elif best_left - run > x_drop:
             break
         ti -= 1
         qi -= 1
+    if counter is not None:
+        counter.charge(1, steps)
     return UngappedSegment(
         t_start=best_t0,
         t_end=t_end,
@@ -78,12 +94,15 @@ def gapped_extension(
     segment: UngappedSegment,
     scheme: ScoringScheme,
     margin: int = 60,
+    counter: CostCounter | None = None,
 ) -> tuple[PairwiseAlignment, int, int]:
     """Affine local DP over a window around an ungapped segment.
 
     Returns ``(alignment, window_t_offset, window_q_offset)`` where the
     offsets convert the alignment's window-local coordinates back to global
-    1-based positions (``global = offset + local``).
+    1-based positions (``global = offset + local``).  ``counter`` (when
+    given) is charged the full window area at x3 — the dense affine DP
+    evaluates all three recurrence inputs for every cell.
     """
     t_lo = max(1, segment.t_start - margin)
     t_hi = min(len(text), segment.t_end + margin)
@@ -91,5 +110,7 @@ def gapped_extension(
     q_hi = min(len(query), segment.q_end + margin)
     window_t = text[t_lo - 1 : t_hi]
     window_q = query[q_lo - 1 : q_hi]
+    if counter is not None:
+        counter.charge(3, len(window_t) * len(window_q))
     alignment = align_pair(window_t, window_q, scheme)
     return alignment, t_lo - 1, q_lo - 1

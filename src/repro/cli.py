@@ -48,6 +48,7 @@ import numpy as np
 from repro import DNA, PROTEIN, ScoringScheme, genome, write_fasta
 from repro.align.types import SearchStats
 from repro.core.analysis import entry_bound
+from repro.engine import DEFAULT_WORD_SIZE, MODE_ENGINE_NAMES, MODES
 from repro.errors import ReproError, ScoringError
 from repro.io.database import SequenceDatabase
 from repro.io.fasta import FastaRecord, parse_fasta_file
@@ -105,6 +106,7 @@ def _make_service(
     that contradicts it is rejected instead of silently ignored.
     """
     alphabet = ALPHABETS[args.alphabet] if args.alphabet else None
+    mode = getattr(args, "mode", "exact") or "exact"
     if args.index is not None and is_manifest(args.index):
         if args.engine != "alae":
             raise ReproError(
@@ -115,6 +117,7 @@ def _make_service(
             args.index,
             alphabet=alphabet,
             scheme=args.scheme,
+            mode=mode,
             workers=args.workers,
             executor=args.executor,
         )
@@ -122,6 +125,7 @@ def _make_service(
         database,
         store=args.index,
         engine=args.engine,
+        mode=mode,
         alphabet=alphabet,
         scheme=args.scheme,
         workers=args.workers,
@@ -157,7 +161,15 @@ def _search_kwargs(args: argparse.Namespace) -> dict:
     )
     if args.top_k is not None:
         kwargs["top_k"] = args.top_k
+    if getattr(args, "mode", None) is not None:
+        kwargs["mode"] = args.mode
     return kwargs
+
+
+def _engine_label(args: argparse.Namespace) -> str:
+    """The engine name printed per query: mode-specific unless exact."""
+    mode = getattr(args, "mode", "exact") or "exact"
+    return args.engine if mode == "exact" else MODE_ENGINE_NAMES[mode]
 
 
 def _run_batch(
@@ -167,6 +179,7 @@ def _run_batch(
 ) -> int:
     """Stream a batch through the service, printing attributed hits."""
     _hit_header()
+    engine_label = _engine_label(args)
     total_hits = dropped = count = 0
     stats = SearchStats()
     started = time.perf_counter()
@@ -176,7 +189,7 @@ def _run_batch(
         dropped += result.dropped_boundary
         stats.merge(result.stats)
         _print_result(
-            result.query_id, args.engine, result.threshold, result.hits,
+            result.query_id, engine_label, result.threshold, result.hits,
             result.dropped_boundary, args.limit,
         )
     wall = time.perf_counter() - started
@@ -187,7 +200,34 @@ def _run_batch(
         f"wall={wall:.3f}s",
         file=sys.stderr,
     )
+    _print_mode_summary(getattr(args, "mode", "exact"), stats, count)
     return 0
+
+
+def _print_mode_summary(mode: str | None, stats: SearchStats, count: int) -> None:
+    """Non-exact tiers get one extra stderr line of mode accounting.
+
+    ``SearchStats.merge`` *sums* extra entries across queries, so recall
+    is recomputed from the summed hit counts (falling back to the mean of
+    the per-query ratios when counts are absent).  Exact runs print
+    nothing — their stdout AND stderr stay byte-identical.
+    """
+    if mode in (None, "exact") or count == 0:
+        return
+    extra = stats.extra
+    parts = [f"# mode={mode}"]
+    for key in ("seeds", "ungapped_extensions", "gapped",
+                "candidate_hits", "verify_windows", "verified_hits"):
+        if key in extra:
+            parts.append(f"{key}={extra[key]}")
+    if "recall_vs_exact" in extra:
+        if extra.get("exact_hits"):
+            # Ratio of the summed counts, not the summed per-query ratios.
+            recall = extra["verified_hits"] / extra["exact_hits"]
+        else:
+            recall = extra["recall_vs_exact"] / count
+        parts.append(f"recall_vs_exact={recall:.4f}")
+    print(" ".join(parts), file=sys.stderr)
 
 
 def _check_text_vs_index(args: argparse.Namespace, positional: str) -> str | None:
@@ -274,6 +314,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         reload_poll=args.reload_poll,
         workers=args.workers,
         executor=args.executor,
+        mode=args.mode,
     )
 
     async def _amain() -> None:
@@ -327,10 +368,16 @@ def cmd_query(args: argparse.Namespace) -> int:
         wall = time.perf_counter() - started
     _hit_header()
     total_hits = dropped = cached = 0
+    served_stats = SearchStats()
     for result in batch.results:
         total_hits += len(result.hits)
         dropped += result.dropped_boundary
         cached += result.cached
+        for key, value in result.extra.items():
+            if isinstance(value, bool):
+                continue
+            if isinstance(value, (int, float)):
+                served_stats.extra[key] = served_stats.extra.get(key, 0) + value
         _print_result(
             result.query_id, batch.engine, result.threshold, result.hits,
             result.dropped_boundary, args.limit,
@@ -341,6 +388,7 @@ def cmd_query(args: argparse.Namespace) -> int:
         f"generation={batch.generation} wall={wall:.3f}s",
         file=sys.stderr,
     )
+    _print_mode_summary(batch.mode, served_stats, len(batch.results))
     return 0
 
 
@@ -358,6 +406,7 @@ def cmd_index_build(args: argparse.Namespace) -> int:
             return 2
         out = f"{args.database}.idx"
     database = _load_database(args.database)
+    kmer_k = None if args.no_kmer else args.kmer_k
     if args.shards > 1:
         sharded = ShardedStore.build(
             database,
@@ -368,6 +417,7 @@ def cmd_index_build(args: argparse.Namespace) -> int:
             occ_block=args.occ_block,
             sa_sample=args.sa_sample,
             build_workers=args.build_workers,
+            kmer_k=kmer_k,
         )
         total_bytes = sum(
             sharded.shard_path(i).stat().st_size
@@ -388,6 +438,7 @@ def cmd_index_build(args: argparse.Namespace) -> int:
         scheme=args.scheme or DEFAULT_SCHEME,
         occ_block=args.occ_block,
         sa_sample=args.sa_sample,
+        kmer_k=kmer_k,
     )
     path = store.save(out)
     print(
@@ -493,6 +544,12 @@ def cmd_generate(args: argparse.Namespace) -> int:
 def _add_search_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--engine", choices=sorted(SERVICE_ENGINES), default="alae")
     parser.add_argument(
+        "--mode", choices=MODES, default="exact",
+        help="search mode: exact (bit-identical ALAE, default), fast "
+        "(seed-and-extend, score-ranked), or verified (fast candidates "
+        "rescored exactly, with measured recall)",
+    )
+    parser.add_argument(
         "--alphabet", choices=ALPHABETS, default=None,
         help="dna or protein (default dna, or the --index fingerprint)",
     )
@@ -593,6 +650,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--executor", choices=("threads", "processes", "spawn"),
         default="threads", help="service worker pool type",
     )
+    serve.add_argument(
+        "--mode", choices=MODES, default="exact",
+        help="default search mode for requests without their own 'mode' "
+        "field (requests can always override per call)",
+    )
     serve.set_defaults(func=cmd_serve)
 
     query = sub.add_parser(
@@ -610,6 +672,11 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--top-k", type=int, default=None, metavar="K",
         help="rank each query's hits by score and keep only the best K",
+    )
+    query.add_argument(
+        "--mode", choices=MODES, default=None,
+        help="search mode (exact/fast/verified); omit to use the "
+        "server's default",
     )
     query.add_argument(
         "--limit", type=int, default=50, help="max printed hits per query"
@@ -657,6 +724,16 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument(
         "--build-workers", type=int, default=1, metavar="N",
         help="build shard stores in an N-process pool (with --shards)",
+    )
+    build.add_argument(
+        "--kmer-k", type=int, default=DEFAULT_WORD_SIZE, metavar="K",
+        help="k-mer word size persisted for the fast tier "
+        f"(default {DEFAULT_WORD_SIZE})",
+    )
+    build.add_argument(
+        "--no-kmer", action="store_true",
+        help="skip the k-mer aux section (fast/verified modes then build "
+        "their index lazily at serve time)",
     )
     build.set_defaults(func=cmd_index_build)
 

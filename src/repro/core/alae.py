@@ -30,7 +30,7 @@ from collections import defaultdict
 
 import numpy as np
 
-from repro.align.bwt_sw import resolve_threshold
+from repro.scoring.evalue import resolve_threshold
 from repro.align.recurrences import CostCounter, advance_row
 from repro.align.smith_waterman import PairwiseAlignment, align_pair
 from repro.align.types import (

@@ -1,0 +1,51 @@
+"""Unified search-backend layer: one protocol, three serving modes.
+
+``exact`` is today's default (ALAE, bit-identical to the pre-refactor
+stack), ``fast`` is seed-and-extend candidate generation, and ``verified``
+rescores fast candidates with windowed exact DPs (verified hits are a
+bit-equal subset of exact hits; see :mod:`repro.engine.verified`).
+"""
+
+from repro.engine.backend import (
+    MODE_ENGINE_NAMES,
+    MODES,
+    ORDER_POSITION,
+    ORDER_SCORE,
+    AlaeBackend,
+    BackendInfo,
+    BlastBackend,
+    BwtSwBackend,
+    SearchBackend,
+)
+from repro.engine.registry import (
+    BLAST_KEYS,
+    DEFAULT_WORD_SIZE,
+    MODE_ORDERINGS,
+    VERIFIED_KEYS,
+    backend_from_store,
+    backend_from_text,
+    check_mode,
+    split_engine_kwargs,
+)
+from repro.engine.verified import VerifiedBackend
+
+__all__ = [
+    "AlaeBackend",
+    "BackendInfo",
+    "BlastBackend",
+    "BwtSwBackend",
+    "SearchBackend",
+    "VerifiedBackend",
+    "MODES",
+    "MODE_ENGINE_NAMES",
+    "MODE_ORDERINGS",
+    "ORDER_POSITION",
+    "ORDER_SCORE",
+    "BLAST_KEYS",
+    "VERIFIED_KEYS",
+    "DEFAULT_WORD_SIZE",
+    "backend_from_store",
+    "backend_from_text",
+    "check_mode",
+    "split_engine_kwargs",
+]

@@ -1,0 +1,135 @@
+"""The :class:`SearchBackend` protocol and thin adapters over the engines.
+
+Every search tier in the repo — the exact ALAE engine (the paper's
+contribution), the exact BWT-SW baseline, the heuristic BLAST baseline, and
+the tiered verified pipeline — answers the same question: *which accumulator
+cells clear the threshold?*  The protocol pins the one shape they share
+(``search(query, threshold | e_value) -> SearchResult``) plus the capability
+metadata the serving stack keys decisions off: whether results are exhaustive
+(``exact``) and how hits should be presented/merged (``ordering``).
+
+Adapters are deliberately thin: they own no search logic, only the metadata
+and the underlying engine instance (exposed as ``.engine`` so existing
+callers — warm-up hooks, shadow-recovery, statistics — keep their access).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.align.bwt_sw import BwtSw
+from repro.align.types import SearchResult
+from repro.blast.engine import Blast
+from repro.core.alae import ALAE
+
+#: Hits presented in accumulator order ``(t_end, p_end)`` — the exact
+#: engines' native order, and the one the byte-identical CLI/merge paths
+#: depend on.
+ORDER_POSITION = "position"
+#: Hits presented best-first ``(-score, t_end, p_end)`` — the natural order
+#: for heuristic tiers, where the answer set is a ranked candidate list.
+ORDER_SCORE = "score"
+
+#: The serving modes every layer of the stack understands.
+MODES = ("exact", "fast", "verified")
+
+#: What the wire protocol / CLI report as the engine label for each mode
+#: (``exact`` keeps the underlying engine's own name).
+MODE_ENGINE_NAMES = {"exact": "alae", "fast": "blast", "verified": "verified"}
+
+
+@dataclass(frozen=True)
+class BackendInfo:
+    """Capability fingerprint of one backend.
+
+    ``exact`` declares the answer set complete (every cell ``>= H``);
+    consumers use it to decide cache compatibility and whether recall
+    bookkeeping makes sense.  ``ordering`` declares the presentation
+    contract (:data:`ORDER_POSITION` or :data:`ORDER_SCORE`) the service
+    layer keys its merge off.
+    """
+
+    name: str
+    mode: str
+    exact: bool
+    ordering: str
+
+
+@runtime_checkable
+class SearchBackend(Protocol):
+    """What every search tier exposes to the service layer."""
+
+    info: BackendInfo
+
+    def search(
+        self,
+        query: str,
+        threshold: int | None = None,
+        e_value: float | None = None,
+    ) -> SearchResult: ...
+
+    def describe(self) -> dict: ...
+
+
+class _EngineBackend:
+    """Shared adapter plumbing: hold the engine, delegate, describe."""
+
+    info: BackendInfo
+
+    def __init__(self, engine) -> None:
+        self.engine = engine
+
+    def search(
+        self,
+        query: str,
+        threshold: int | None = None,
+        e_value: float | None = None,
+    ) -> SearchResult:
+        return self.engine.search(query, threshold, e_value)
+
+    def describe(self) -> dict:
+        """Fingerprint of the backend plus the engine it wraps."""
+        engine = self.engine
+        info = asdict(self.info)
+        info.update(
+            {
+                "alphabet": engine.alphabet.name,
+                "scheme": list(engine.scheme.as_tuple()),
+                "text_length": len(engine.text),
+            }
+        )
+        return info
+
+
+class AlaeBackend(_EngineBackend):
+    """The exact ALAE engine as a backend (mode ``exact``'s default)."""
+
+    info = BackendInfo(
+        name="alae", mode="exact", exact=True, ordering=ORDER_POSITION
+    )
+
+    def __init__(self, engine: ALAE) -> None:
+        super().__init__(engine)
+
+
+class BwtSwBackend(_EngineBackend):
+    """The exact BWT-SW baseline as a backend."""
+
+    info = BackendInfo(
+        name="bwtsw", mode="exact", exact=True, ordering=ORDER_POSITION
+    )
+
+    def __init__(self, engine: BwtSw) -> None:
+        super().__init__(engine)
+
+
+class BlastBackend(_EngineBackend):
+    """The heuristic seed-and-extend engine as a backend (mode ``fast``)."""
+
+    info = BackendInfo(
+        name="blast", mode="fast", exact=False, ordering=ORDER_SCORE
+    )
+
+    def __init__(self, engine: Blast) -> None:
+        super().__init__(engine)

@@ -6,7 +6,12 @@ from repro.scoring.scheme import (
     DEFAULT_SCHEME,
     ScoringScheme,
 )
-from repro.scoring.evalue import KarlinAltschul, evalue_to_score, score_to_evalue
+from repro.scoring.evalue import (
+    KarlinAltschul,
+    evalue_to_score,
+    resolve_threshold,
+    score_to_evalue,
+)
 
 __all__ = [
     "ScoringScheme",
@@ -15,5 +20,6 @@ __all__ = [
     "BLAST_PROTEIN_SCHEMES",
     "KarlinAltschul",
     "evalue_to_score",
+    "resolve_threshold",
     "score_to_evalue",
 ]

@@ -27,7 +27,7 @@ from functools import lru_cache
 
 import numpy as np
 
-from repro.errors import EValueError
+from repro.errors import EValueError, SearchError
 from repro.scoring.scheme import ScoringScheme
 
 
@@ -122,6 +122,32 @@ class KarlinAltschul:
             raise EValueError(f"E-value must be positive, got {e_value}")
         h = math.ceil((math.log(self.k * m * n) - math.log(e_value)) / self.lam)
         return max(1, h)
+
+
+def resolve_threshold(
+    threshold: int | None,
+    e_value: float | None,
+    scheme: ScoringScheme,
+    sigma: int,
+    m: int,
+    n: int,
+) -> int:
+    """Resolve an explicit score threshold or an E-value into ``H`` (Sec. 7).
+
+    Every engine — ALAE, BWT-SW, BLAST — funnels its search parameters
+    through this one function, so a given ``(scheme, sigma, m, n)`` always
+    yields the same ``H`` regardless of which backend answers the query.
+    """
+    if threshold is not None and e_value is not None:
+        raise SearchError("pass either threshold or e_value, not both")
+    if threshold is not None:
+        if threshold < 1:
+            raise SearchError(f"threshold must be >= 1, got {threshold}")
+        return int(threshold)
+    if e_value is None:
+        e_value = 10.0  # the BLAST / BWT-SW default
+    stats = KarlinAltschul.from_scheme(scheme, sigma)
+    return stats.score_threshold(e_value, m, n)
 
 
 def evalue_to_score(

@@ -11,8 +11,9 @@ thread, so N concurrent clients cost one engine dispatch instead of N:
   instantly and the linger never matters; when idle a lone query waits at
   most ``linger`` before running alone;
 * only queries with the same :class:`BatchKey` (threshold / e-value /
-  top-k) can share a ``search_batch`` call; a query with a different key
-  seeds the *next* batch instead of being reordered behind later arrivals;
+  top-k / search mode) can share a ``search_batch`` call; a query with a
+  different key seeds the *next* batch instead of being reordered behind
+  later arrivals;
 * admission control is a hard cap on queued-plus-running queries:
   :meth:`MicroBatcher.submit` raises :class:`Overloaded` instead of
   queueing the excess, so clients get an instant ``overloaded`` response
@@ -40,11 +41,17 @@ class Overloaded(ReproError):
 
 @dataclass(frozen=True)
 class BatchKey:
-    """Search parameters that must match for queries to share one batch."""
+    """Search parameters that must match for queries to share one batch.
+
+    ``mode`` is part of the key so an ``exact`` query can never ride in a
+    ``fast`` batch (and vice versa) — the tiers answer different questions
+    and must never share a ``search_batch`` dispatch.
+    """
 
     threshold: int | None
     e_value: float | None
     top_k: int | None
+    mode: str = "exact"
 
 
 @dataclass

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import socket
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.errors import ReproError
@@ -38,7 +38,11 @@ class ServerOverloaded(ServerError):
 
 @dataclass
 class ServedResult:
-    """One query's served answer (mirrors the service's ``QueryResult``)."""
+    """One query's served answer (mirrors the service's ``QueryResult``).
+
+    ``extra`` holds the mode-specific accounting the server attaches to
+    non-exact answers (seed counts, ``recall_vs_exact``); empty for exact.
+    """
 
     query_id: str
     threshold: int
@@ -46,6 +50,7 @@ class ServedResult:
     raw_hits: int
     dropped_boundary: int
     cached: bool
+    extra: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -55,6 +60,7 @@ class ServedBatch:
     results: list[ServedResult]
     engine: str
     generation: int
+    mode: str = "exact"
 
     @property
     def total_hits(self) -> int:
@@ -170,8 +176,12 @@ class ServerClient:
         e_value: float | None = None,
         *,
         top_k: int | None = None,
+        mode: str | None = None,
     ) -> ServedBatch:
-        """Search a batch (same inputs as ``SearchService.search_batch``)."""
+        """Search a batch (same inputs as ``SearchService.search_batch``).
+
+        ``mode=None`` leaves the choice to the server's default mode.
+        """
         normalized = normalize_queries(queries)
         payload: dict = {
             "op": "search",
@@ -183,6 +193,8 @@ class ServerClient:
             payload["e_value"] = e_value
         if top_k is not None:
             payload["top_k"] = top_k
+        if mode is not None:
+            payload["mode"] = mode
         response = self.request(payload)
         status = response.get("status")
         if status == "overloaded":
@@ -197,6 +209,7 @@ class ServerClient:
                 raw_hits=entry["raw_hits"],
                 dropped_boundary=entry["dropped"],
                 cached=entry["cached"],
+                extra=entry.get("extra", {}),
             )
             for entry in response["results"]
         ]
@@ -204,6 +217,7 @@ class ServerClient:
             results=results,
             engine=response.get("engine", "alae"),
             generation=response.get("generation", 0),
+            mode=response.get("mode", "exact"),
         )
 
     def _simple(self, op: str) -> dict:

@@ -36,6 +36,7 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
+from repro.engine import MODE_ENGINE_NAMES, check_mode
 from repro.errors import ReproError
 from repro.io.database import LocatedHit
 from repro.server.batcher import BatchKey, MicroBatcher, Overloaded
@@ -79,18 +80,23 @@ def open_serving_service(
     *,
     workers: int = 1,
     executor: str = "threads",
+    mode: str = "exact",
     engine_kwargs: dict | None = None,
 ) -> "tuple[SearchService | ShardedSearchService, int]":
-    """Open the right service for an index path; returns ``(service, epoch)``."""
+    """Open the right service for an index path; returns ``(service, epoch)``.
+
+    ``mode`` is the service's *default* search mode (its backend is built
+    eagerly); per-request modes are still honoured lazily.
+    """
     path = Path(path)
     if is_manifest(path):
         service = ShardedSearchService(
-            path, workers=workers, executor=executor,
+            path, workers=workers, executor=executor, mode=mode,
             engine_kwargs=engine_kwargs,
         )
         return service, service.manifest_crc
     service = SearchService(
-        store=path, workers=workers, executor=executor,
+        store=path, workers=workers, executor=executor, mode=mode,
         engine_kwargs=engine_kwargs,
     )
     return service, service.store.header_crc
@@ -124,6 +130,10 @@ class SearchServer:
     workers, executor, engine_kwargs:
         Forwarded to the underlying service — parallelism *inside* one
         batch.
+    mode:
+        Default search mode (``exact``/``fast``/``verified``) for requests
+        that do not carry their own ``mode`` field.  Part of the batch and
+        cache keys, so tiers never share a dispatch or a cached answer.
     max_inflight:
         Per-connection pipelining cap; the reader stops consuming frames
         while this many responses are pending, pushing backpressure into
@@ -143,6 +153,7 @@ class SearchServer:
         reload_poll: float = 2.0,
         workers: int = 1,
         executor: str = "threads",
+        mode: str = "exact",
         engine_kwargs: dict | None = None,
         max_frame: int = MAX_FRAME_BYTES,
         max_inflight: int = 32,
@@ -155,9 +166,11 @@ class SearchServer:
         self.max_frame = max_frame
         self.max_inflight = max_inflight
         self.reload_poll = reload_poll
+        self.default_mode = check_mode(mode)
         self._service_kwargs = {
             "workers": workers,
             "executor": executor,
+            "mode": self.default_mode,
             "engine_kwargs": dict(engine_kwargs or {}),
         }
         self._cache = ResultCache(cache_size)
@@ -273,6 +286,7 @@ class SearchServer:
             threshold=key.threshold,
             e_value=key.e_value,
             top_k=key.top_k,
+            mode=key.mode,
         )
         return [(self._epoch, result) for result in report.results]
 
@@ -437,7 +451,8 @@ class SearchServer:
                 "stats": body,
                 "index": str(self.index_path),
                 "sharded": self.sharded,
-                "engine": "alae",
+                "mode": self.default_mode,
+                "engine": MODE_ENGINE_NAMES[self.default_mode],
             }
         if op == "ping":
             return {"status": "ok", "pong": True, "generation": self.generation}
@@ -495,10 +510,15 @@ class SearchServer:
             raise ServiceError("'top_k' must be a positive integer")
         if threshold is not None and e_value is not None:
             raise ServiceError("pass either 'threshold' or 'e_value', not both")
+        mode = payload.get("mode")
+        if mode is not None and not isinstance(mode, str):
+            raise ServiceError("'mode' must be a string")
+        mode = self.default_mode if mode is None else check_mode(mode)
         return queries, BatchKey(
             threshold=threshold,
             e_value=None if e_value is None else float(e_value),
             top_k=top_k,
+            mode=mode,
         )
 
     async def _handle_search(self, payload: dict) -> dict:
@@ -514,7 +534,8 @@ class SearchServer:
         misses = 0
         for query in queries:
             cache_key = ResultCache.key(
-                query.sequence, key.threshold, key.e_value, key.top_k, epoch
+                query.sequence, key.threshold, key.e_value, key.top_k, epoch,
+                key.mode,
             )
             cached = self._cache.get(cache_key)
             if cached is not None:
@@ -584,20 +605,23 @@ class SearchServer:
                 if served_epoch != epoch:
                     cache_key = ResultCache.key(
                         query.sequence, key.threshold, key.e_value,
-                        key.top_k, served_epoch,
+                        key.top_k, served_epoch, key.mode,
                     )
                 self._cache.put(cache_key, CachedResult.from_result(result))
                 cached_flag = False
-            results.append(
-                {
-                    "id": result.query_id,
-                    "threshold": result.threshold,
-                    "hits": [_wire_hit(hit) for hit in result.hits],
-                    "raw_hits": result.raw_hits,
-                    "dropped": result.dropped_boundary,
-                    "cached": cached_flag,
-                }
-            )
+            body = {
+                "id": result.query_id,
+                "threshold": result.threshold,
+                "hits": [_wire_hit(hit) for hit in result.hits],
+                "raw_hits": result.raw_hits,
+                "dropped": result.dropped_boundary,
+                "cached": cached_flag,
+            }
+            if key.mode != "exact":
+                # Mode-specific accounting (seed counts, recall_vs_exact):
+                # exact responses keep the original payload shape.
+                body["extra"] = dict(result.stats.extra)
+            results.append(body)
         if failure is not None:
             return {"status": "error", "error": str(failure)}
         elapsed = loop.time() - arrived
@@ -607,7 +631,8 @@ class SearchServer:
         self._stats.count("queries_total", len(queries))
         return {
             "status": "ok",
-            "engine": "alae",
+            "engine": MODE_ENGINE_NAMES[key.mode],
+            "mode": key.mode,
             "generation": self.generation,
             "results": results,
         }

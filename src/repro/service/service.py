@@ -43,6 +43,17 @@ from repro.align.types import Hit, SearchStats
 from repro.alphabet import DNA, Alphabet
 from repro.blast import Blast
 from repro.core.alae import ALAE
+from repro.engine import (
+    ORDER_POSITION,
+    ORDER_SCORE,
+    AlaeBackend,
+    BackendInfo,
+    BlastBackend,
+    BwtSwBackend,
+    backend_from_store,
+    backend_from_text,
+    check_mode,
+)
 from repro.errors import ReproError
 from repro.io.database import LocatedHit, SequenceDatabase
 from repro.io.fasta import FastaRecord, parse_fasta_file
@@ -132,6 +143,48 @@ def _cells_with_starts(
 
 #: Engine registry shared with the CLI.
 SERVICE_ENGINES = {"alae": ALAE, "bwtsw": BwtSw, "blast": Blast}
+
+
+def _legacy_backend(engine) -> object:
+    """Wrap an explicitly-chosen engine instance in a pinned backend.
+
+    A service constructed with ``engine="bwtsw"`` / ``engine="blast"`` (or a
+    custom engine class) predates the mode registry; its backend keeps the
+    historical presentation — accumulator (position) order — so existing
+    output stays byte-identical, and the service refuses non-``exact``
+    per-call modes.
+    """
+    if isinstance(engine, ALAE):
+        return AlaeBackend(engine)
+    if isinstance(engine, BwtSw):
+        return BwtSwBackend(engine)
+    if isinstance(engine, Blast):
+        backend = BlastBackend(engine)
+        # Instance override: legacy blast services present hits in position
+        # order like every other engine= choice always has.
+        backend.info = BackendInfo(
+            name="blast", mode="exact", exact=False, ordering=ORDER_POSITION
+        )
+        return backend
+
+    class _CustomBackend:
+        info = BackendInfo(
+            name=type(engine).__name__.lower(),
+            mode="exact",
+            exact=False,
+            ordering=ORDER_POSITION,
+        )
+
+        def __init__(self, wrapped) -> None:
+            self.engine = wrapped
+
+        def search(self, query, threshold=None, e_value=None):
+            return self.engine.search(query, threshold, e_value)
+
+        def describe(self) -> dict:
+            return {"name": self.info.name, "mode": self.info.mode}
+
+    return _CustomBackend(engine)
 
 _NEG = np.int64(-(10**9))
 
@@ -231,10 +284,12 @@ _FORK_SERVICE: "SearchService | None" = None
 _FORK_LOCK = threading.Lock()
 
 
-def _fork_search(task: tuple[Query, int | None, float | None]) -> QueryResult:
-    query, threshold, e_value = task
+def _fork_search(
+    task: tuple[Query, int | None, float | None, str],
+) -> QueryResult:
+    query, threshold, e_value, mode = task
     assert _FORK_SERVICE is not None  # set by the parent before forking
-    return _FORK_SERVICE._search_one(query, threshold, e_value)
+    return _FORK_SERVICE._search_one(query, threshold, e_value, mode)
 
 
 # Spawn workers carry no parent memory: the pool initializer reopens the
@@ -262,10 +317,12 @@ def _spawn_init(
         )
 
 
-def _spawn_search(task: tuple[Query, int | None, float | None]) -> QueryResult:
-    query, threshold, e_value = task
+def _spawn_search(
+    task: tuple[Query, int | None, float | None, str],
+) -> QueryResult:
+    query, threshold, e_value, mode = task
     assert _SPAWN_SERVICE is not None  # set by the pool initializer
-    return _SPAWN_SERVICE._search_one(query, threshold, e_value)
+    return _SPAWN_SERVICE._search_one(query, threshold, e_value, mode)
 
 
 class SearchService:
@@ -286,7 +343,15 @@ class SearchService:
         Engine name (``alae`` / ``bwtsw`` / ``blast``) or an engine *class*
         with the ``(text, alphabet=..., scheme=...)`` constructor protocol.
         Store-backed services serve the ``alae`` engine (the store holds its
-        indexes).
+        indexes).  Choosing a non-default engine pins the service: per-call
+        ``mode`` overrides are rejected.
+    mode:
+        Default search mode: ``exact`` (ALAE, today's behaviour —
+        byte-identical output), ``fast`` (seed-and-extend candidates,
+        score-ranked), or ``verified`` (fast candidates rescored by
+        windowed exact searches; hits are a bit-equal subset of ``exact``).
+        Every serving call accepts a per-call ``mode=`` override; backends
+        are built lazily per mode and share the exact engine's indexes.
     workers, executor:
         Default worker-pool shape for :meth:`search_batch`: ``threads``
         shares the engine directly (simple, but pure-Python searches
@@ -306,6 +371,7 @@ class SearchService:
         *,
         store: "IndexStore | str | Path | None" = None,
         engine: str | type = "alae",
+        mode: str = "exact",
         alphabet: Alphabet | None = None,
         scheme: ScoringScheme | None = None,
         workers: int = 1,
@@ -313,6 +379,11 @@ class SearchService:
         engine_kwargs: dict | None = None,
     ) -> None:
         self._engine_kwargs = dict(engine_kwargs or {})
+        self.mode = check_mode(mode)
+        # Backends are built lazily per mode (the default mode eagerly,
+        # below); the lock keeps first-build single-flight across threads.
+        self._backends: dict[str, object] = {}
+        self._backend_lock = threading.RLock()
         if isinstance(engine, str):
             if engine not in SERVICE_ENGINES:
                 raise ServiceError(
@@ -320,6 +391,14 @@ class SearchService:
                     f"{sorted(SERVICE_ENGINES)}"
                 )
             engine = SERVICE_ENGINES[engine]
+        # An explicitly-chosen non-default engine pins the service to the
+        # historical single-engine behaviour (no mode switching).
+        self._pinned_engine = engine if engine is not ALAE else None
+        if self._pinned_engine is not None and self.mode != "exact":
+            raise ServiceError(
+                f"mode {self.mode!r} needs the default ALAE service; "
+                f"engine={engine.__name__.lower()!r} pins mode 'exact'"
+            )
         if store is not None:
             if database is not None:
                 raise ServiceError(
@@ -343,7 +422,7 @@ class SearchService:
             self.scheme = store.scheme
             self.workers = self._check_workers(workers)
             self.executor = self._check_executor(executor)
-            self.engine = store.engine(**self._engine_kwargs)
+            backend = self._make_backend(self.mode)
         else:
             if database is None:
                 raise ServiceError("pass a database or a store")
@@ -355,12 +434,19 @@ class SearchService:
             self.scheme = DEFAULT_SCHEME if scheme is None else scheme
             self.workers = self._check_workers(workers)
             self.executor = self._check_executor(executor)
-            self.engine = engine(
-                database.text,
-                alphabet=self.alphabet,
-                scheme=self.scheme,
-                **self._engine_kwargs,
-            )
+            if self._pinned_engine is not None:
+                backend = _legacy_backend(
+                    engine(
+                        database.text,
+                        alphabet=self.alphabet,
+                        scheme=self.scheme,
+                        **self._engine_kwargs,
+                    )
+                )
+            else:
+                backend = self._make_backend(self.mode)
+        self._backends[self.mode] = backend
+        self.engine = backend.engine
         # Build lazily-constructed engine caches up front so concurrent
         # threads never race on their first population.
         if isinstance(self.engine, ALAE) and self.engine.use_domination:
@@ -423,10 +509,59 @@ class SearchService:
     def _normalize_queries(self, queries: Iterable) -> list[Query]:
         return normalize_queries(queries)
 
+    def _resolve_mode(self, mode: str | None) -> str:
+        """Per-call mode, defaulting to the service's own; pin-checked."""
+        mode = check_mode(self.mode if mode is None else mode)
+        if mode != "exact" and self._pinned_engine is not None:
+            raise ServiceError(
+                f"mode {mode!r} needs the default ALAE service; this one "
+                f"was constructed with an explicit engine and serves "
+                f"'exact' only"
+            )
+        return mode
+
+    def _make_backend(self, mode: str) -> object:
+        """Build a backend for ``mode`` over this service's text or store."""
+        if self.store is not None:
+            return backend_from_store(
+                mode, self.store, engine_kwargs=self._engine_kwargs
+            )
+        # Reuse an already-built exact engine (every backend exposes one
+        # when it carries ALAE) so modes share one set of indexes.
+        exact_engine = None
+        for built in self._backends.values():
+            candidate = getattr(built, "engine", None)
+            if isinstance(candidate, ALAE):
+                exact_engine = candidate
+                break
+        return backend_from_text(
+            mode,
+            self.database.text,
+            alphabet=self.alphabet,
+            scheme=self.scheme,
+            engine_kwargs=self._engine_kwargs,
+            exact_engine=exact_engine,
+        )
+
+    def backend(self, mode: str | None = None) -> object:
+        """The :class:`~repro.engine.SearchBackend` serving ``mode`` (cached)."""
+        mode = self._resolve_mode(mode)
+        with self._backend_lock:
+            built = self._backends.get(mode)
+            if built is None:
+                built = self._make_backend(mode)
+                self._backends[mode] = built
+            return built
+
     def _search_one(
-        self, query: Query, threshold: int | None, e_value: float | None
+        self,
+        query: Query,
+        threshold: int | None,
+        e_value: float | None,
+        mode: str | None = None,
     ) -> QueryResult:
-        result = self.engine.search(
+        backend = self.backend(mode)
+        result = backend.search(
             query.sequence, threshold=threshold, e_value=e_value
         )
         raw = result.hits.hits()
@@ -447,6 +582,17 @@ class SearchService:
             )
         located.sort(key=lambda item: item[0])
         hits = [placed for _pos, placed in located]
+        if backend.info.ordering == ORDER_SCORE:
+            # Score-ordered backends present a ranked candidate list — the
+            # same key _apply_top_k / the sharded merge use, so ordering is
+            # identical across serving topologies.
+            hits.sort(
+                key=lambda hit: (
+                    -hit.score,
+                    self.database.offset_of(hit.record_index) + hit.t_end,
+                    hit.p_end,
+                )
+            )
         return QueryResult(
             query_id=query.id,
             hits=hits,
@@ -546,11 +692,13 @@ class SearchService:
         e_value: float | None = None,
         *,
         top_k: int | None = None,
+        mode: str | None = None,
     ) -> QueryResult:
         """Search one query and attribute its hits (no pool involved)."""
         top_k = self._check_top_k(top_k)
+        mode = self._resolve_mode(mode)
         (normalized,) = self._normalize_queries([query])
-        result = self._search_one(normalized, threshold, e_value)
+        result = self._search_one(normalized, threshold, e_value, mode)
         if top_k is not None:
             result = self._apply_top_k(result, top_k)
         return result
@@ -564,6 +712,7 @@ class SearchService:
         top_k: int | None = None,
         workers: int | None = None,
         executor: str | None = None,
+        mode: str | None = None,
     ) -> Iterator[QueryResult]:
         """Yield one :class:`QueryResult` per query, in submission order.
 
@@ -578,8 +727,11 @@ class SearchService:
             self.executor if executor is None else executor
         )
         top_k = self._check_top_k(top_k)
+        mode = self._resolve_mode(mode)
         normalized = self._normalize_queries(queries)
-        inner = self._iter_validated(normalized, threshold, e_value, workers, executor)
+        inner = self._iter_validated(
+            normalized, threshold, e_value, workers, executor, mode
+        )
         if top_k is None:
             return inner
         return (self._apply_top_k(result, top_k) for result in inner)
@@ -591,21 +743,28 @@ class SearchService:
         e_value: float | None,
         workers: int,
         executor: str,
+        mode: str,
     ) -> Iterator[QueryResult]:
         if workers == 1 or len(normalized) == 1:
             for query in normalized:
-                yield self._search_one(query, threshold, e_value)
+                yield self._search_one(query, threshold, e_value, mode)
             return
         if executor == "processes":
-            yield from self._run_forked(normalized, threshold, e_value, workers)
+            yield from self._run_forked(
+                normalized, threshold, e_value, workers, mode
+            )
         elif executor == "spawn":
-            yield from self._run_spawn(normalized, threshold, e_value, workers)
+            yield from self._run_spawn(
+                normalized, threshold, e_value, workers, mode
+            )
         else:
             pool = ThreadPoolExecutor(
                 max_workers=workers, thread_name_prefix="repro-search"
             )
             try:
-                yield from self._drain(pool, normalized, threshold, e_value)
+                yield from self._drain(
+                    pool, normalized, threshold, e_value, mode
+                )
             finally:
                 # Early generator close: drop queued queries instead of
                 # finishing the whole batch before returning control.
@@ -617,9 +776,10 @@ class SearchService:
         queries: list[Query],
         threshold: int | None,
         e_value: float | None,
+        mode: str,
     ) -> Iterator[QueryResult]:
         futures = [
-            pool.submit(self._search_one, query, threshold, e_value)
+            pool.submit(self._search_one, query, threshold, e_value, mode)
             for query in queries
         ]
         for future in futures:
@@ -631,6 +791,7 @@ class SearchService:
         threshold: int | None,
         e_value: float | None,
         workers: int,
+        mode: str,
     ) -> Iterator[QueryResult]:
         global _FORK_SERVICE
         with _FORK_LOCK:
@@ -646,7 +807,9 @@ class SearchService:
             )
             try:
                 futures = [
-                    pool.submit(_fork_search, (query, threshold, e_value))
+                    pool.submit(
+                        _fork_search, (query, threshold, e_value, mode)
+                    )
                     for query in queries
                 ]
                 for future in futures:
@@ -663,6 +826,7 @@ class SearchService:
         threshold: int | None,
         e_value: float | None,
         workers: int,
+        mode: str,
     ) -> Iterator[QueryResult]:
         assert self._store_path is not None  # enforced by _check_executor
         # Fail in the parent, with a clean error, when the store file no
@@ -686,7 +850,7 @@ class SearchService:
         )
         try:
             futures = [
-                pool.submit(_spawn_search, (query, threshold, e_value))
+                pool.submit(_spawn_search, (query, threshold, e_value, mode))
                 for query in queries
             ]
             for future in futures:
@@ -703,6 +867,7 @@ class SearchService:
         top_k: int | None = None,
         workers: int | None = None,
         executor: str | None = None,
+        mode: str | None = None,
     ) -> BatchReport:
         """Run a whole batch and return results plus aggregate statistics."""
         workers = self._check_workers(self.workers if workers is None else workers)
@@ -713,7 +878,7 @@ class SearchService:
         results = list(
             self.iter_results(
                 queries, threshold, e_value, top_k=top_k,
-                workers=workers, executor=executor,
+                workers=workers, executor=executor, mode=mode,
             )
         )
         wall = time.perf_counter() - started
@@ -734,6 +899,7 @@ class SearchService:
         top_k: int | None = None,
         workers: int | None = None,
         executor: str | None = None,
+        mode: str | None = None,
     ) -> BatchReport:
         """Run every record of a FASTA file as one batch."""
         return self.search_batch(
@@ -743,4 +909,5 @@ class SearchService:
             top_k=top_k,
             workers=workers,
             executor=executor,
+            mode=mode,
         )

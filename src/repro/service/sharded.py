@@ -47,9 +47,10 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Iterable, Iterator
 
-from repro.align.bwt_sw import resolve_threshold
+from repro.scoring.evalue import resolve_threshold
 from repro.align.types import SearchStats
 from repro.alphabet import Alphabet
+from repro.engine import MODE_ORDERINGS, ORDER_SCORE, check_mode
 from repro.errors import ReproError
 from repro.io.database import LocatedHit
 from repro.io.fasta import parse_fasta_file
@@ -135,12 +136,12 @@ _FORK_SHARDED_LOCK = threading.Lock()
 
 
 def _fork_shard_search(
-    task: "tuple[int, Query, int]",
+    task: "tuple[int, Query, int, str]",
 ) -> "tuple[int, QueryResult]":
-    shard, query, threshold = task
+    shard, query, threshold, mode = task
     assert _FORK_SHARDED is not None  # set by the parent before forking
     return shard, _FORK_SHARDED.services[shard]._search_one(
-        query, threshold, None
+        query, threshold, None, mode
     )
 
 
@@ -169,12 +170,12 @@ def _sharded_spawn_init(
 
 
 def _spawn_shard_search(
-    task: "tuple[int, Query, int]",
+    task: "tuple[int, Query, int, str]",
 ) -> "tuple[int, QueryResult]":
-    shard, query, threshold = task
+    shard, query, threshold, mode = task
     assert _SPAWN_SHARDED is not None  # set by the pool initializer
     return shard, _SPAWN_SHARDED.services[shard]._search_one(
-        query, threshold, None
+        query, threshold, None, mode
     )
 
 
@@ -193,8 +194,16 @@ class ShardedSearchService:
         Default pool shape for :meth:`search_batch`.  One *task* is one
         ``(query, shard)`` pair, so even a single query spreads across
         ``workers`` pool slots.
+    mode:
+        Default search mode for every call (``exact``, ``fast`` or
+        ``verified``); individual calls override it with their own
+        ``mode=`` argument.  Each shard resolves the mode through its own
+        :class:`SearchService` backend registry, so ``exact`` stays
+        bit-identical to the unsharded service and non-exact backends are
+        built lazily per shard on first use.
     engine_kwargs:
-        Forwarded to every shard engine (the ALAE ``use_*`` toggles).
+        Forwarded to every shard engine (the ALAE ``use_*`` toggles plus
+        the fast tier's seeding knobs, routed per backend).
     """
 
     def __init__(
@@ -203,6 +212,7 @@ class ShardedSearchService:
         *,
         alphabet: Alphabet | None = None,
         scheme: ScoringScheme | None = None,
+        mode: str = "exact",
         workers: int = 1,
         executor: str = "threads",
         engine_kwargs: dict | None = None,
@@ -214,9 +224,14 @@ class ShardedSearchService:
         if scheme is not None:
             store.check_scheme(scheme)
         self.store = store
+        self.mode = check_mode(mode)
         self._engine_kwargs = dict(engine_kwargs or {})
         self.services = [
-            SearchService(store=shard_store, engine_kwargs=self._engine_kwargs)
+            SearchService(
+                store=shard_store,
+                mode=self.mode,
+                engine_kwargs=self._engine_kwargs,
+            )
             for shard_store in store.stores()
         ]
         self.alphabet = self.services[0].alphabet
@@ -273,6 +288,10 @@ class ShardedSearchService:
             return "threads"
         return executor
 
+    def _resolve_mode(self, mode: str | None) -> str:
+        """Per-call mode override: ``None`` means the service default."""
+        return self.mode if mode is None else check_mode(mode)
+
     def _resolve_threshold(
         self, query: Query, threshold: int | None, e_value: float | None
     ) -> int:
@@ -293,13 +312,16 @@ class ShardedSearchService:
         h_thr: int,
         per_shard: list[QueryResult],
         top_k: int | None,
+        mode: str = "exact",
     ) -> QueryResult:
         """Fold per-shard results into one globally ordered result.
 
-        Default ordering is by global ``(t_end, p_end)`` — the concatenated
-        accumulator's order, hence bit-identical to the unsharded service.
-        With ``top_k`` the hits are instead ranked by score (descending,
-        position-ordered within ties) and truncated.
+        Exact-mode ordering is by global ``(t_end, p_end)`` — the
+        concatenated accumulator's order, hence bit-identical to the
+        unsharded service.  Modes whose backend declares score ordering
+        (``fast``/``verified``) rank by score descending with global
+        position as the tie-break, matching the unsharded presentation.
+        With ``top_k`` the ranked order is additionally truncated.
         """
         merged: list[tuple[int, int, LocatedHit]] = []
         for shard, result in enumerate(per_shard):
@@ -314,19 +336,32 @@ class ShardedSearchService:
                     )
                 )
         merged.sort(key=lambda item: (item[0], item[1]))
-        if top_k is not None:
+        if top_k is not None or MODE_ORDERINGS[mode] == ORDER_SCORE:
             ranked = sorted(
                 merged, key=lambda item: (-item[2].score, item[0], item[1])
             )
-            hits = [hit for _end, _p, hit in ranked[:top_k]]
+            if top_k is not None:
+                ranked = ranked[:top_k]
+            hits = [hit for _end, _p, hit in ranked]
         else:
             hits = [hit for _end, _p, hit in merged]
         raw = sum(result.raw_hits for result in per_shard)
         dropped = sum(result.dropped_boundary for result in per_shard)
+        stats = SearchStats.aggregate(r.stats for r in per_shard)
+        if "exact_hits" in stats.extra and "verified_hits" in stats.extra:
+            # Aggregation summed the per-shard recall *ratios*; the global
+            # recall is the ratio of the summed counts (hits are
+            # record-local, so per-shard counts partition the global ones).
+            exact_hits = stats.extra["exact_hits"]
+            stats.extra["recall_vs_exact"] = (
+                stats.extra["verified_hits"] / exact_hits
+                if exact_hits
+                else 1.0
+            )
         return QueryResult(
             query_id=query.id,
             hits=hits,
-            stats=SearchStats.aggregate(r.stats for r in per_shard),
+            stats=stats,
             threshold=h_thr,
             raw_hits=raw,
             dropped_boundary=dropped,
@@ -340,15 +375,17 @@ class ShardedSearchService:
         e_value: float | None = None,
         *,
         top_k: int | None = None,
+        mode: str | None = None,
     ) -> QueryResult:
         """Search one query across every shard (no pool involved)."""
+        mode = self._resolve_mode(mode)
         (normalized,) = normalize_queries([query])
         h_thr = self._resolve_threshold(normalized, threshold, e_value)
         per_shard = [
-            service._search_one(normalized, h_thr, None)
+            service._search_one(normalized, h_thr, None, mode)
             for service in self.services
         ]
-        return self._merge(normalized, h_thr, per_shard, top_k)
+        return self._merge(normalized, h_thr, per_shard, top_k, mode)
 
     def _validate(
         self,
@@ -358,13 +395,15 @@ class ShardedSearchService:
         top_k: int | None,
         workers: int | None,
         executor: str | None,
-    ) -> tuple[list[Query], list[int], int, str]:
+        mode: str | None,
+    ) -> tuple[list[Query], list[int], int, str, str]:
         workers = SearchService._check_workers(
             self.workers if workers is None else workers
         )
         executor = self._check_executor(
             self.executor if executor is None else executor
         )
+        mode = self._resolve_mode(mode)
         normalized = normalize_queries(queries)
         if top_k is not None and top_k < 1:
             raise ServiceError(f"top_k must be >= 1, got {top_k}")
@@ -372,7 +411,7 @@ class ShardedSearchService:
             self._resolve_threshold(query, threshold, e_value)
             for query in normalized
         ]
-        return normalized, thresholds, workers, executor
+        return normalized, thresholds, workers, executor, mode
 
     def iter_results(
         self,
@@ -383,19 +422,20 @@ class ShardedSearchService:
         top_k: int | None = None,
         workers: int | None = None,
         executor: str | None = None,
+        mode: str | None = None,
     ) -> Iterator[QueryResult]:
         """Yield one merged :class:`QueryResult` per query, in order.
 
         A query's result streams as soon as all of its shard tasks (and all
         earlier queries') finish.  Inputs are validated eagerly.
         """
-        normalized, thresholds, workers, executor = self._validate(
-            queries, threshold, e_value, top_k, workers, executor
+        normalized, thresholds, workers, executor, mode = self._validate(
+            queries, threshold, e_value, top_k, workers, executor, mode
         )
         return (
-            self._merge(query, h_thr, per_shard, top_k)
+            self._merge(query, h_thr, per_shard, top_k, mode)
             for query, h_thr, per_shard in self._iter_shardwise(
-                normalized, thresholds, top_k, workers, executor
+                normalized, thresholds, top_k, workers, executor, mode
             )
         )
 
@@ -406,23 +446,26 @@ class ShardedSearchService:
         top_k: int | None,
         workers: int,
         executor: str,
+        mode: str,
     ) -> Iterator[tuple[Query, int, list[QueryResult]]]:
         """Yield ``(query, H, per-shard results)`` per query, in order."""
         if workers == 1:
             floor = _ScoreFloor(top_k) if top_k is not None else None
             for index, (query, h_thr) in enumerate(zip(queries, thresholds)):
                 per_shard = [
-                    self._shard_task(shard, index, query, h_thr, floor)
+                    self._shard_task(shard, index, query, h_thr, floor, mode)
                     for shard in range(self.shard_count)
                 ]
                 yield query, h_thr, per_shard
             return
         if executor == "threads":
-            yield from self._run_threads(queries, thresholds, top_k, workers)
+            yield from self._run_threads(
+                queries, thresholds, top_k, workers, mode
+            )
         elif executor == "processes":
-            yield from self._run_forked(queries, thresholds, workers)
+            yield from self._run_forked(queries, thresholds, workers, mode)
         else:
-            yield from self._run_spawn(queries, thresholds, workers)
+            yield from self._run_spawn(queries, thresholds, workers, mode)
 
     def _shard_task(
         self,
@@ -431,6 +474,7 @@ class ShardedSearchService:
         query: Query,
         h_thr: int,
         floor: "_ScoreFloor | None",
+        mode: str = "exact",
     ) -> QueryResult:
         """One (query, shard) search, consulting/feeding the score floor."""
         effective = h_thr
@@ -438,7 +482,7 @@ class ShardedSearchService:
             current = floor.floor(query_index)
             if current is not None and current > effective:
                 effective = current
-        result = self.services[shard]._search_one(query, effective, None)
+        result = self.services[shard]._search_one(query, effective, None, mode)
         if floor is not None:
             floor.offer(query_index, (hit.score for hit in result.hits))
         return result
@@ -449,6 +493,7 @@ class ShardedSearchService:
         thresholds: list[int],
         top_k: int | None,
         workers: int,
+        mode: str,
     ) -> Iterator[tuple[Query, int, list[QueryResult]]]:
         floor = _ScoreFloor(top_k) if top_k is not None else None
         pool = ThreadPoolExecutor(
@@ -458,7 +503,13 @@ class ShardedSearchService:
             futures: list[list[Future]] = [
                 [
                     pool.submit(
-                        self._shard_task, shard, index, query, h_thr, floor
+                        self._shard_task,
+                        shard,
+                        index,
+                        query,
+                        h_thr,
+                        floor,
+                        mode,
                     )
                     for shard in range(self.shard_count)
                 ]
@@ -480,10 +531,11 @@ class ShardedSearchService:
         task_fn,
         queries: list[Query],
         thresholds: list[int],
+        mode: str,
     ) -> Iterator[tuple[Query, int, list[QueryResult]]]:
         futures = [
             [
-                pool.submit(task_fn, (shard, query, h_thr))
+                pool.submit(task_fn, (shard, query, h_thr, mode))
                 for shard in range(self.shard_count)
             ]
             for query, h_thr in zip(queries, thresholds)
@@ -500,6 +552,7 @@ class ShardedSearchService:
         queries: list[Query],
         thresholds: list[int],
         workers: int,
+        mode: str,
     ) -> Iterator[tuple[Query, int, list[QueryResult]]]:
         global _FORK_SHARDED
         with _FORK_SHARDED_LOCK:
@@ -516,7 +569,7 @@ class ShardedSearchService:
             )
             try:
                 yield from self._collect_process_results(
-                    pool, _fork_shard_search, queries, thresholds
+                    pool, _fork_shard_search, queries, thresholds, mode
                 )
             finally:
                 pool.shutdown(wait=True, cancel_futures=True)
@@ -529,6 +582,7 @@ class ShardedSearchService:
         queries: list[Query],
         thresholds: list[int],
         workers: int,
+        mode: str,
     ) -> Iterator[tuple[Query, int, list[QueryResult]]]:
         # Fail in the parent with a clean error when the manifest on disk no
         # longer matches; the worker-side check covers the remaining race.
@@ -554,7 +608,7 @@ class ShardedSearchService:
         )
         try:
             yield from self._collect_process_results(
-                pool, _spawn_shard_search, queries, thresholds
+                pool, _spawn_shard_search, queries, thresholds, mode
             )
         finally:
             pool.shutdown(wait=True, cancel_futures=True)
@@ -568,20 +622,21 @@ class ShardedSearchService:
         top_k: int | None = None,
         workers: int | None = None,
         executor: str | None = None,
+        mode: str | None = None,
     ) -> ShardedBatchReport:
         """Run a whole batch; aggregate per-query and per-shard accounting."""
-        normalized, thresholds, workers, executor = self._validate(
-            queries, threshold, e_value, top_k, workers, executor
+        normalized, thresholds, workers, executor, mode = self._validate(
+            queries, threshold, e_value, top_k, workers, executor, mode
         )
         started = time.perf_counter()
         shard_stats = [SearchStats() for _ in range(self.shard_count)]
         results = []
         for query, h_thr, per_shard in self._iter_shardwise(
-            normalized, thresholds, top_k, workers, executor
+            normalized, thresholds, top_k, workers, executor, mode
         ):
             for shard, result in enumerate(per_shard):
                 shard_stats[shard].merge(result.stats)
-            results.append(self._merge(query, h_thr, per_shard, top_k))
+            results.append(self._merge(query, h_thr, per_shard, top_k, mode))
         wall = time.perf_counter() - started
         return ShardedBatchReport(
             results=results,
@@ -604,6 +659,7 @@ class ShardedSearchService:
         top_k: int | None = None,
         workers: int | None = None,
         executor: str | None = None,
+        mode: str | None = None,
     ) -> ShardedBatchReport:
         """Run every record of a FASTA file as one batch."""
         return self.search_batch(
@@ -613,4 +669,5 @@ class ShardedSearchService:
             top_k=top_k,
             workers=workers,
             executor=executor,
+            mode=mode,
         )
