@@ -41,6 +41,7 @@ from pathlib import Path
 
 from repro import ALAE
 from repro.alphabet import DNA, PROTEIN
+from repro.obs import maybe_record_bench
 from repro.scoring.scheme import DEFAULT_SCHEME, ScoringScheme
 from repro.workloads.generator import make_workload
 
@@ -217,6 +218,19 @@ def main() -> int:
     if args.out is not None:
         args.out.write_text(json.dumps(report, indent=2) + "\n")
         print(f"wrote {args.out}")
+
+    bench_id = maybe_record_bench(
+        "engine_hotpath",
+        {
+            "n": args.n,
+            "speedup_geometric_mean": report["speedup_geometric_mean"],
+            "components": [
+                {"name": c["name"], "speedup": c["speedup"]} for c in components
+            ],
+        },
+    )
+    if bench_id is not None:
+        print(f"recorded as bench #{bench_id} (REPRO_CATALOG)")
 
     if args.check is not None:
         baseline = json.loads(args.check.read_text())

@@ -30,6 +30,7 @@ from pathlib import Path
 from repro import IndexStore, make_workload
 from repro.io.database import SequenceDatabase
 from repro.io.fasta import FastaRecord
+from repro.obs import maybe_record_bench
 from repro.server import SearchServer, ServerClient, ServerThread
 
 
@@ -96,7 +97,8 @@ def run_mode(
     linger: float,
     concurrency: int,
     threshold: int,
-) -> tuple[float, float]:
+    request_log: Path | None = None,
+) -> tuple[float, dict]:
     server = SearchServer(
         store_path,
         port=0,
@@ -105,6 +107,7 @@ def run_mode(
         max_queue=max(256, len(queries)),
         cache_size=0,
         reload_poll=0,
+        request_log=request_log,
     )
     with ServerThread(server) as handle:
         # One warm-up request so engine caches don't skew the first mode.
@@ -113,7 +116,7 @@ def run_mode(
         wall, count = drive(handle.port, queries, concurrency, threshold)
         with ServerClient(port=handle.port) as client:
             stats = client.stats()["stats"]
-    return count / wall, stats["mean_batch_size"]
+    return count / wall, stats
 
 
 def run(args: argparse.Namespace) -> None:
@@ -129,21 +132,69 @@ def run(args: argparse.Namespace) -> None:
         print(
             "# concurrency\tsingle_qps\tbatched_qps\tspeedup\tmean_batch"
         )
+        rows = []
         for concurrency in args.concurrency:
             single_qps, _ = run_mode(
                 store_path, queries,
                 max_batch=1, linger=0.0,
                 concurrency=concurrency, threshold=args.threshold,
             )
-            batched_qps, mean_batch = run_mode(
+            batched_qps, stats = run_mode(
                 store_path, queries,
                 max_batch=args.max_batch, linger=args.linger_ms / 1000.0,
                 concurrency=concurrency, threshold=args.threshold,
             )
+            mean_batch = stats["mean_batch_size"]
             print(
                 f"{concurrency}\t{single_qps:.1f}\t{batched_qps:.1f}\t"
                 f"{batched_qps / single_qps:.2f}x\t{mean_batch:.2f}"
             )
+            rows.append(
+                {
+                    "concurrency": concurrency,
+                    "single_qps": round(single_qps, 1),
+                    "batched_qps": round(batched_qps, 1),
+                    "mean_batch": round(mean_batch, 2),
+                }
+            )
+
+        # Request-log overhead: the batched configuration at the highest
+        # requested concurrency, with and without a structured request log.
+        # The log's hot-path cost is one deque append per query, so p50
+        # should move by well under 5%.
+        concurrency = args.concurrency[-1]
+        batched = dict(
+            max_batch=args.max_batch, linger=args.linger_ms / 1000.0,
+            concurrency=concurrency, threshold=args.threshold,
+        )
+        _, off_stats = run_mode(store_path, queries, **batched)
+        _, on_stats = run_mode(
+            store_path, queries, request_log=Path(tmp) / "reqlog.db", **batched
+        )
+        off_p50 = off_stats["latency_seconds"]["p50"]
+        on_p50 = on_stats["latency_seconds"]["p50"]
+        overhead = (on_p50 / off_p50 - 1.0) if off_p50 > 0 else 0.0
+        written = on_stats.get("request_log", {}).get("written", 0)
+        print(
+            f"# request log @C={concurrency}: p50 off {off_p50 * 1e3:.2f} ms, "
+            f"on {on_p50 * 1e3:.2f} ms ({overhead:+.1%}), "
+            f"{written} requests logged"
+        )
+
+        # The store lives in a TemporaryDirectory, so key the result to its
+        # fingerprint rather than a path that vanishes when the bench exits
+        # (a dead path would fail every later ``catalog verify-all``).
+        bench_id = maybe_record_bench(
+            "server_throughput",
+            {
+                "threshold": args.threshold,
+                "rows": rows,
+                "request_log_p50_overhead": round(overhead, 4),
+            },
+            fingerprint=IndexStore.open(store_path).fingerprint_key,
+        )
+        if bench_id is not None:
+            print(f"# recorded as bench #{bench_id} (REPRO_CATALOG)")
 
 
 def parse_args() -> argparse.Namespace:

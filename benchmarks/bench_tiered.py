@@ -44,6 +44,7 @@ from repro.alphabet import DNA, PROTEIN
 from repro.blast.engine import Blast
 from repro.core.alae import ALAE
 from repro.engine import VerifiedBackend
+from repro.obs import maybe_record_bench
 from repro.scoring.scheme import DEFAULT_SCHEME, ScoringScheme
 from repro.workloads.generator import make_workload
 
@@ -201,6 +202,24 @@ def main() -> int:
     if args.out is not None:
         args.out.write_text(json.dumps(report, indent=2) + "\n")
         print(f"wrote {args.out}")
+
+    bench_id = maybe_record_bench(
+        "tiered",
+        {
+            "components": [
+                {
+                    "name": c["name"],
+                    "recall_vs_exact": c["recall_vs_exact"],
+                    "modes": {
+                        row["mode"]: row["ms_per_query"] for row in c["modes"]
+                    },
+                }
+                for c in components
+            ],
+        },
+    )
+    if bench_id is not None:
+        print(f"recorded as bench #{bench_id} (REPRO_CATALOG)")
 
     if args.check is not None:
         baseline = json.loads(args.check.read_text())

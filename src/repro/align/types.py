@@ -147,6 +147,9 @@ class SearchStats:
     nodes_visited: int = 0
     elapsed_seconds: float = 0.0
     extra: dict = field(default_factory=dict)
+    #: Named wall-time buckets (``engine``, ``locate``, ``merge``,
+    #: ``shard<i>``, ...) — see :mod:`repro.obs.spans`.  Summed on merge.
+    spans: dict = field(default_factory=dict)
 
     @property
     def calculated(self) -> int:
@@ -201,6 +204,8 @@ class SearchStats:
                 self.extra[key] = self.extra.get(key, 0) + value
             else:
                 self.extra[key] = value
+        for name, seconds in other.spans.items():
+            self.spans[name] = self.spans.get(name, 0.0) + seconds
 
     @classmethod
     def aggregate(cls, parts: "Iterable[SearchStats]") -> "SearchStats":

@@ -38,6 +38,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import logging
 import signal
 import sys
 import time
@@ -52,11 +53,21 @@ from repro.engine import DEFAULT_WORD_SIZE, MODE_ENGINE_NAMES, MODES
 from repro.errors import ReproError, ScoringError
 from repro.io.database import SequenceDatabase
 from repro.io.fasta import FastaRecord, parse_fasta_file
+from repro.obs import (
+    Catalog,
+    ReplayPlan,
+    configure_logging,
+    format_spans,
+    maybe_register_build,
+    replay_plan,
+)
 from repro.scoring.scheme import DEFAULT_SCHEME, blast_scheme_grid
 from repro.server import SearchServer, ServerClient, wait_until_ready
 from repro.service import SERVICE_ENGINES, SearchService, ShardedSearchService
 from repro.store import IndexStore, ShardedStore, is_manifest
 from repro.store.format import read_header as read_store_header
+
+logger = logging.getLogger("repro.cli")
 
 ALPHABETS = {"dna": DNA, "protein": PROTEIN}
 
@@ -291,6 +302,10 @@ def cmd_search_db(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    # The serving process is the one long-lived entry point: route its
+    # diagnostics through the repro.* logger hierarchy instead of bare
+    # prints, so --log-level / --log-json govern everything it emits.
+    configure_logging(args.log_level, json_lines=args.log_json)
     index = Path(args.index)
     if not index.exists():
         print(f"error: index {index} does not exist", file=sys.stderr)
@@ -315,16 +330,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         executor=args.executor,
         mode=args.mode,
+        request_log=args.request_log,
     )
 
     async def _amain() -> None:
         await server.start()
-        print(
-            f"serving {index} on {server.host}:{server.port} "
-            f"(sharded={server.sharded} max_batch={args.max_batch} "
-            f"linger={args.linger_ms}ms queue={args.max_queue})",
-            file=sys.stderr,
-            flush=True,
+        logger.info(
+            "batch shape: max_batch=%d linger=%gms queue=%d cache=%d",
+            args.max_batch, args.linger_ms, args.max_queue, args.cache_size,
         )
         loop = asyncio.get_running_loop()
         for signum in (signal.SIGINT, signal.SIGTERM):
@@ -340,7 +353,6 @@ def cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(_amain())
     except KeyboardInterrupt:
         pass
-    print("server stopped", file=sys.stderr)
     return 0
 
 
@@ -364,7 +376,7 @@ def cmd_query(args: argparse.Namespace) -> int:
             return 0
         queries = _load_records(args.queries, default_id="query")
         started = time.perf_counter()
-        batch = client.search(queries, **_search_kwargs(args))
+        batch = client.search(queries, trace=args.trace, **_search_kwargs(args))
         wall = time.perf_counter() - started
     _hit_header()
     total_hits = dropped = cached = 0
@@ -389,6 +401,12 @@ def cmd_query(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     _print_mode_summary(batch.mode, served_stats, len(batch.results))
+    if args.trace:
+        # Span breakdowns are stderr-only: stdout keeps its byte-for-byte
+        # parity with the offline search-db path.
+        for result in batch.results:
+            rendered = format_spans(result.spans) if result.spans else "(cached)"
+            print(f"# trace {result.query_id}: {rendered}", file=sys.stderr)
     return 0
 
 
@@ -407,6 +425,7 @@ def cmd_index_build(args: argparse.Namespace) -> int:
         out = f"{args.database}.idx"
     database = _load_database(args.database)
     kmer_k = None if args.no_kmer else args.kmer_k
+    build_started = time.perf_counter()
     if args.shards > 1:
         sharded = ShardedStore.build(
             database,
@@ -419,6 +438,7 @@ def cmd_index_build(args: argparse.Namespace) -> int:
             build_workers=args.build_workers,
             kmer_k=kmer_k,
         )
+        build_seconds = time.perf_counter() - build_started
         total_bytes = sum(
             sharded.shard_path(i).stat().st_size
             for i in range(sharded.shard_count)
@@ -431,6 +451,7 @@ def cmd_index_build(args: argparse.Namespace) -> int:
             f"fingerprint {sharded.fingerprint_key})",
             file=sys.stderr,
         )
+        _register_build(sharded.path, build_seconds, args.catalog)
         return 0
     store = IndexStore.build(
         database,
@@ -441,13 +462,30 @@ def cmd_index_build(args: argparse.Namespace) -> int:
         kmer_k=kmer_k,
     )
     path = store.save(out)
+    build_seconds = time.perf_counter() - build_started
     print(
         f"wrote {path} ({path.stat().st_size:,} bytes, "
         f"{len(database)} sequences, {database.total_length:,} chars, "
         f"fingerprint {store.fingerprint_key})",
         file=sys.stderr,
     )
+    _register_build(path, build_seconds, args.catalog)
     return 0
+
+
+def _register_build(
+    index_path: Path, build_seconds: float, catalog: str | None
+) -> None:
+    """Catalog a finished build (``--catalog`` or ``REPRO_CATALOG``)."""
+    store_id = maybe_register_build(
+        index_path, build_seconds=build_seconds, catalog_path=catalog
+    )
+    if store_id is not None:
+        print(
+            f"catalogued {index_path} as store #{store_id} "
+            f"(build {build_seconds:.2f}s)",
+            file=sys.stderr,
+        )
 
 
 def cmd_index_info(args: argparse.Namespace) -> int:
@@ -504,6 +542,173 @@ def cmd_index_verify(args: argparse.Namespace) -> int:
     print(
         f"OK: {args.path} ({len(header['arrays'])} arrays, "
         f"all checksums match)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_catalog_ls(args: argparse.Namespace) -> int:
+    with Catalog(args.db) as catalog:
+        rows = catalog.stores()
+        bench_count = len(catalog.benchmarks())
+        request_count = catalog.request_count()
+        print(
+            f"# {args.db} (schema v{catalog.schema_version}, "
+            f"{len(rows)} stores, {bench_count} bench results, "
+            f"{request_count} logged requests)"
+        )
+        print("# id\tkind\tshards\trecords\tlength\tbytes\tbuild_s\tfingerprint\tpath")
+        for row in rows:
+            build = (
+                f"{row['build_seconds']:.2f}"
+                if row["build_seconds"] is not None
+                else "-"
+            )
+            print(
+                f"{row['store_id']}\t{row['kind']}\t{row['shard_count']}\t"
+                f"{row['records']}\t{row['total_length']}\t"
+                f"{row['file_bytes']}\t{build}\t{row['fingerprint']}\t"
+                f"{row['path']}"
+            )
+    return 0
+
+
+def cmd_catalog_show(args: argparse.Namespace) -> int:
+    with Catalog(args.db) as catalog:
+        try:
+            store_id = int(args.store)
+        except ValueError:
+            resolved = catalog.store_id_for(args.store)
+            if resolved is None:
+                print(
+                    f"error: no store with path {args.store!r} in {args.db}",
+                    file=sys.stderr,
+                )
+                return 2
+            store_id = resolved
+        row = catalog.store(store_id)
+        print(f"# store #{row['store_id']}: {row['path']}")
+        for key in (
+            "kind", "fingerprint", "records", "total_length", "shard_count",
+            "file_bytes", "created_utc", "build_seconds",
+        ):
+            print(f"{key}\t{row[key]}")
+        print(f"identity_crc\t{int(row['identity_crc']):#010x}")
+        shards = catalog.shards(store_id)
+        if shards:
+            print("# shard\tpath\trecords\tlength\theader_crc")
+            for shard in shards:
+                print(
+                    f"{shard['shard']}\t{shard['path']}\t{shard['records']}\t"
+                    f"{shard['total_length']}\t{int(shard['header_crc']):08x}"
+                )
+        benches = catalog.benchmarks(store_id)
+        if benches:
+            print("# bench\tname\tcreated\tmetrics")
+            for bench in benches:
+                print(
+                    f"{bench['bench_id']}\t{bench['name']}\t"
+                    f"{bench['created_utc']}\t{bench['metrics']}"
+                )
+    return 0
+
+
+def cmd_catalog_verify_all(args: argparse.Namespace) -> int:
+    with Catalog(args.db) as catalog:
+        count = len(catalog.stores())
+        problems = catalog.verify_all()
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"OK: {count} catalogued store(s) verified (checksums and "
+        f"identities match)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_catalog_record_bench(args: argparse.Namespace) -> int:
+    if args.metrics_file is not None:
+        metrics = json.loads(Path(args.metrics_file).read_text())
+    else:
+        metrics = json.loads(args.metrics)
+    if not isinstance(metrics, dict):
+        print("error: metrics must be a JSON object", file=sys.stderr)
+        return 2
+    with Catalog(args.db) as catalog:
+        bench_id = catalog.record_bench(
+            args.name,
+            metrics,
+            store_path=args.store,
+            fingerprint=args.fingerprint,
+        )
+    print(f"recorded bench #{bench_id} ({args.name})", file=sys.stderr)
+    return 0
+
+
+def _replay_text(index_path: str | Path) -> str:
+    """The served database text, for synthesizing replay queries.
+
+    Shard stores carry contiguous record ranges in manifest order, so
+    concatenating them reproduces the unsharded text.
+    """
+    index_path = Path(index_path)
+    if is_manifest(index_path):
+        sharded = ShardedStore.open(index_path)
+        return "".join(
+            IndexStore.open(sharded.shard_path(i)).database().text
+            for i in range(sharded.shard_count)
+        )
+    return IndexStore.open(index_path).database().text
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    if not args.plan_only and args.index is None:
+        print(
+            "error: --index is required unless --plan-only", file=sys.stderr
+        )
+        return 2
+    plan = ReplayPlan.from_catalog(
+        args.replay,
+        seed=args.seed,
+        count=args.count,
+        rate_scale=args.rate_scale,
+    )
+    if args.plan_out is not None:
+        Path(args.plan_out).write_text(plan.to_json())
+        print(
+            f"wrote replay plan ({len(plan.events)} events, seed "
+            f"{plan.seed}) to {args.plan_out}",
+            file=sys.stderr,
+        )
+    if args.plan_only:
+        return 0
+    text = _replay_text(args.index)
+    if args.port is not None:
+        if args.wait > 0:
+            wait_until_ready(args.host, args.port, timeout=args.wait)
+        report = replay_plan(
+            plan, host=args.host, port=args.port, text=text, pace=args.pace,
+        )
+    else:
+        index = Path(args.index)
+        service = (
+            ShardedSearchService(index)
+            if is_manifest(index)
+            else SearchService(store=index)
+        )
+        report = replay_plan(plan, service=service, text=text, pace=args.pace)
+    print(report.format())
+    with Catalog(args.replay) as catalog:
+        bench_id = catalog.record_bench(
+            "replay",
+            report.to_dict(),
+            store_path=args.index if Path(args.index).exists() else None,
+        )
+    print(
+        f"recorded capacity report as bench #{bench_id} in {args.replay}",
         file=sys.stderr,
     )
     return 0
@@ -655,6 +860,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="default search mode for requests without their own 'mode' "
         "field (requests can always override per call)",
     )
+    serve.add_argument(
+        "--request-log", default=None, metavar="CATALOG.db",
+        help="append one structured row per request to this catalog "
+        "database (query hash, mode, latency, cache hit, batch size, "
+        "per-shard timings); the raw material for `repro bench --replay`",
+    )
+    serve.add_argument(
+        "--log-level", default="info",
+        choices=("debug", "info", "warning", "error"),
+        help="server diagnostic verbosity on stderr (default info)",
+    )
+    serve.add_argument(
+        "--log-json", action="store_true",
+        help="emit diagnostics as one JSON object per line",
+    )
     serve.set_defaults(func=cmd_serve)
 
     query = sub.add_parser(
@@ -685,6 +905,11 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--wait", type=float, default=0.0, metavar="SECONDS",
         help="wait up to SECONDS for the server to come up first",
+    )
+    query.add_argument(
+        "--trace", action="store_true",
+        help="print per-query span breakdowns (engine/locate/merge/shardN "
+        "milliseconds) on stderr; stdout stays byte-identical",
     )
     query.add_argument(
         "--stats", action="store_true",
@@ -735,6 +960,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the k-mer aux section (fast/verified modes then build "
         "their index lazily at serve time)",
     )
+    build.add_argument(
+        "--catalog", default=None, metavar="CATALOG.db",
+        help="register the built store in this catalog (defaults to the "
+        "REPRO_CATALOG env var; neither set means no registration)",
+    )
     build.set_defaults(func=cmd_index_build)
 
     info = index_sub.add_parser("info", help="print a store's header")
@@ -746,6 +976,107 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify.add_argument("path", help="index store path")
     verify.set_defaults(func=cmd_index_verify)
+
+    catalog = sub.add_parser(
+        "catalog",
+        help="inspect / verify the durable control-plane catalog",
+    )
+    catalog_sub = catalog.add_subparsers(dest="catalog_command", required=True)
+
+    cat_ls = catalog_sub.add_parser("ls", help="list catalogued stores")
+    cat_ls.add_argument("db", help="catalog database path")
+    cat_ls.set_defaults(func=cmd_catalog_ls)
+
+    cat_show = catalog_sub.add_parser(
+        "show", help="show one store's layout, checksums and bench history"
+    )
+    cat_show.add_argument("db", help="catalog database path")
+    cat_show.add_argument("store", help="store id or index path")
+    cat_show.set_defaults(func=cmd_catalog_show)
+
+    cat_verify = catalog_sub.add_parser(
+        "verify-all",
+        help="re-verify every catalogued store's checksums and identity",
+    )
+    cat_verify.add_argument("db", help="catalog database path")
+    cat_verify.set_defaults(func=cmd_catalog_verify_all)
+
+    cat_bench = catalog_sub.add_parser(
+        "record-bench", help="record a benchmark result against a store"
+    )
+    cat_bench.add_argument("db", help="catalog database path")
+    cat_bench.add_argument("name", help="benchmark name (e.g. engine_hotpath)")
+    cat_bench.add_argument(
+        "--metrics", default="{}",
+        help="metrics as an inline JSON object",
+    )
+    cat_bench.add_argument(
+        "--metrics-file", default=None, metavar="PATH",
+        help="read the metrics JSON object from a file instead",
+    )
+    cat_bench.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="index path the result ran against (registered if absent)",
+    )
+    cat_bench.add_argument(
+        "--fingerprint", default=None,
+        help="index fingerprint for store-less engine benches",
+    )
+    cat_bench.set_defaults(func=cmd_catalog_record_bench)
+
+    bench = sub.add_parser(
+        "bench",
+        help="replay a logged workload against an index or server and "
+        "report capacity",
+    )
+    bench.add_argument(
+        "--replay", required=True, metavar="CATALOG.db",
+        help="catalog database holding the request log to replay",
+    )
+    bench.add_argument(
+        "--index", default=None, metavar="PATH",
+        help="index store or shard manifest to replay against (also the "
+        "source text for synthesized queries); required unless --plan-only",
+    )
+    bench.add_argument(
+        "--host", default="127.0.0.1",
+        help="with --port: replay against a running `repro serve`",
+    )
+    bench.add_argument(
+        "--port", type=int, default=None,
+        help="replay against the server at --host:--port instead of a "
+        "local in-process service",
+    )
+    bench.add_argument(
+        "--wait", type=float, default=0.0, metavar="SECONDS",
+        help="wait up to SECONDS for the server to come up first",
+    )
+    bench.add_argument(
+        "--seed", type=int, default=0,
+        help="replay-plan seed (same log + same seed = byte-identical plan)",
+    )
+    bench.add_argument(
+        "--count", type=int, default=None, metavar="N",
+        help="replay N requests (default: as many as were logged)",
+    )
+    bench.add_argument(
+        "--rate-scale", type=float, default=1.0, metavar="X",
+        help="scale the logged arrival rate by X (with --pace)",
+    )
+    bench.add_argument(
+        "--pace", action="store_true",
+        help="honour the plan's arrival offsets instead of replaying "
+        "back-to-back",
+    )
+    bench.add_argument(
+        "--plan-out", default=None, metavar="PATH",
+        help="write the deterministic replay plan as canonical JSON",
+    )
+    bench.add_argument(
+        "--plan-only", action="store_true",
+        help="stop after constructing (and optionally writing) the plan",
+    )
+    bench.set_defaults(func=cmd_bench)
 
     analyze = sub.add_parser("analyze", help="print Section 6 bounds")
     analyze.add_argument("--alphabet", choices=ALPHABETS, default="dna")

@@ -1,0 +1,85 @@
+"""Durable control plane: catalog, request log, trace spans, replay.
+
+The serving stack's in-memory ``stats`` RPC dies with the process; this
+package is the part that survives.  One SQLite file (WAL, versioned
+schema) plays three roles:
+
+* **catalog** — every built store/manifest registered with its
+  fingerprint and CRCs, every benchmark result keyed to the store it ran
+  against (``repro catalog ls/show/verify-all/record-bench``);
+* **request log** — opt-in structured per-request telemetry appended by
+  the server off the hot path (one deque enqueue per request);
+* **replay source** — ``repro bench --replay`` reconstructs the logged
+  traffic mix into a deterministic plan and replays it for a capacity
+  report.
+
+Trace spans (:mod:`repro.obs.spans`) are the in-memory half: named
+wall-time buckets on ``SearchStats`` threaded service → shards → engine.
+"""
+
+from repro.obs.catalog import (
+    CATALOG_ENV,
+    SCHEMA_VERSION,
+    Catalog,
+    CatalogError,
+    RequestMix,
+    apply_migrations,
+    connect,
+    maybe_record_bench,
+    maybe_register_build,
+)
+from repro.obs.logcfg import JsonLineFormatter, configure_logging
+from repro.obs.replay import (
+    CapacityReport,
+    ReplayError,
+    ReplayEvent,
+    ReplayPlan,
+    replay_plan,
+    synthesize_queries,
+)
+from repro.obs.reqlog import REQUEST_COLUMNS, RequestLog, query_hash
+from repro.obs.spans import (
+    SPAN_ADMISSION_WAIT,
+    SPAN_BATCH_LINGER,
+    SPAN_ENGINE,
+    SPAN_LOCATE,
+    SPAN_MERGE,
+    add_span,
+    format_spans,
+    shard_seconds,
+    shard_span,
+    span,
+)
+
+__all__ = [
+    "CATALOG_ENV",
+    "SCHEMA_VERSION",
+    "Catalog",
+    "CatalogError",
+    "RequestMix",
+    "apply_migrations",
+    "connect",
+    "maybe_record_bench",
+    "maybe_register_build",
+    "JsonLineFormatter",
+    "configure_logging",
+    "CapacityReport",
+    "ReplayError",
+    "ReplayEvent",
+    "ReplayPlan",
+    "replay_plan",
+    "synthesize_queries",
+    "REQUEST_COLUMNS",
+    "RequestLog",
+    "query_hash",
+    "SPAN_ADMISSION_WAIT",
+    "SPAN_BATCH_LINGER",
+    "SPAN_ENGINE",
+    "SPAN_LOCATE",
+    "SPAN_MERGE",
+    "add_span",
+    "format_spans",
+    "shard_seconds",
+    "shard_span",
+    "span",
+]

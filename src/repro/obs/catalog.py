@@ -1,0 +1,492 @@
+"""The SQLite catalog: a durable record of every built index and bench run.
+
+Everything the serving stack builds or measures is ephemeral today — a
+store is a file whose provenance lives in someone's shell history, a
+benchmark is a JSON blob with no pointer to the index it ran against, and
+the server's counters die with the process.  The catalog is the durable
+control plane under all of it: one SQLite file (``WAL`` journal,
+``busy_timeout``, versioned schema with forward migrations) holding
+
+* one row per built :class:`~repro.store.IndexStore` / ``REPROSHD``
+  manifest — path, fingerprint, header/payload CRCs, record counts, shard
+  layout, build wall time — written by ``repro index build`` whenever a
+  catalog is attached (``--catalog`` or the ``REPRO_CATALOG`` env var);
+* one row per benchmark result, keyed to the store it ran against (or to a
+  bare fingerprint for store-less engine benches), so ``BENCH_*.json``
+  numbers become queryable history instead of overwritten files;
+* the server's structured request log (see :mod:`repro.obs.reqlog`), the
+  raw material for workload replay (:mod:`repro.obs.replay`).
+
+``repro catalog ls / show / verify-all / record-bench`` are the CLI over
+this file.  ``verify-all`` recomputes every catalogued store's checksums
+*and* cross-checks the on-disk identity against the recorded CRCs, so a
+store rebuilt or corrupted behind the catalog's back is named, not missed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ReproError
+
+#: Environment variable naming the catalog every build/bench auto-records to.
+CATALOG_ENV = "REPRO_CATALOG"
+
+#: Current schema version (``PRAGMA user_version``).  Bump when adding a
+#: migration; existing files upgrade in place on open.
+SCHEMA_VERSION = 2
+
+
+class CatalogError(ReproError):
+    """The catalog file is unusable or an operation references missing rows."""
+
+
+def connect(path: str | Path, *, timeout_ms: int = 30_000) -> sqlite3.Connection:
+    """Open a catalog connection with the WAL/busy-timeout pragma set.
+
+    Every reader and writer — the CLI, the request-log writer thread, a
+    replay run — goes through here, so concurrent access degrades to
+    bounded waiting instead of ``database is locked`` errors.
+    """
+    conn = sqlite3.connect(str(path), timeout=timeout_ms / 1000.0)
+    conn.row_factory = sqlite3.Row
+    conn.execute("PRAGMA journal_mode=WAL")
+    conn.execute("PRAGMA synchronous=NORMAL")
+    conn.execute("PRAGMA foreign_keys=ON")
+    conn.execute(f"PRAGMA busy_timeout={int(timeout_ms)}")
+    return conn
+
+
+def _migrate_v1(conn: sqlite3.Connection) -> None:
+    """v1: stores + shard layout + the request log."""
+    conn.executescript(
+        """
+        CREATE TABLE IF NOT EXISTS stores (
+            store_id      INTEGER PRIMARY KEY,
+            path          TEXT NOT NULL,
+            kind          TEXT NOT NULL CHECK (kind IN ('store', 'manifest')),
+            fingerprint   TEXT NOT NULL,
+            identity_crc  INTEGER NOT NULL,
+            records       INTEGER NOT NULL,
+            total_length  INTEGER NOT NULL,
+            shard_count   INTEGER NOT NULL,
+            file_bytes    INTEGER NOT NULL,
+            created_utc   TEXT NOT NULL,
+            UNIQUE (path, identity_crc)
+        );
+        CREATE TABLE IF NOT EXISTS shards (
+            store_id      INTEGER NOT NULL
+                          REFERENCES stores(store_id) ON DELETE CASCADE,
+            shard         INTEGER NOT NULL,
+            path          TEXT NOT NULL,
+            header_crc    INTEGER NOT NULL,
+            records       INTEGER NOT NULL,
+            total_length  INTEGER NOT NULL,
+            PRIMARY KEY (store_id, shard)
+        );
+        CREATE TABLE IF NOT EXISTS requests (
+            request_id      INTEGER PRIMARY KEY,
+            ts              REAL NOT NULL,
+            query_hash      TEXT NOT NULL,
+            query_length    INTEGER NOT NULL,
+            mode            TEXT NOT NULL,
+            threshold       INTEGER,
+            e_value         REAL,
+            top_k           INTEGER,
+            latency_seconds REAL NOT NULL,
+            cached          INTEGER NOT NULL,
+            batch_size      INTEGER,
+            shard_timings   TEXT,
+            generation      INTEGER NOT NULL,
+            status          TEXT NOT NULL
+        );
+        CREATE INDEX IF NOT EXISTS requests_ts ON requests(ts);
+        """
+    )
+
+
+def _migrate_v2(conn: sqlite3.Connection) -> None:
+    """v2: build wall time on stores, plus the benchmark-results table."""
+    conn.execute("ALTER TABLE stores ADD COLUMN build_seconds REAL")
+    conn.executescript(
+        """
+        CREATE TABLE IF NOT EXISTS benchmarks (
+            bench_id     INTEGER PRIMARY KEY,
+            store_id     INTEGER
+                         REFERENCES stores(store_id) ON DELETE SET NULL,
+            fingerprint  TEXT,
+            name         TEXT NOT NULL,
+            metrics      TEXT NOT NULL,
+            created_utc  TEXT NOT NULL
+        );
+        CREATE INDEX IF NOT EXISTS benchmarks_store ON benchmarks(store_id);
+        """
+    )
+
+
+#: Ordered migrations; ``_MIGRATIONS[i]`` upgrades ``user_version`` i -> i+1.
+_MIGRATIONS = (_migrate_v1, _migrate_v2)
+
+
+def apply_migrations(
+    conn: sqlite3.Connection, *, upto: int = SCHEMA_VERSION
+) -> int:
+    """Bring ``conn`` up to schema ``upto``; returns the resulting version.
+
+    A file newer than this library refuses to open (downgrades would drop
+    data the newer writer relies on).  Exposed — with ``upto`` — so tests
+    can materialize historical versions and assert the upgrade path.
+    """
+    (version,) = conn.execute("PRAGMA user_version").fetchone()
+    if version > len(_MIGRATIONS):
+        raise CatalogError(
+            f"catalog schema v{version} is newer than this library "
+            f"(v{len(_MIGRATIONS)}); upgrade repro instead of downgrading "
+            f"the file"
+        )
+    while version < upto:
+        with conn:  # each migration commits atomically
+            _MIGRATIONS[version](conn)
+            version += 1
+            conn.execute(f"PRAGMA user_version={version}")
+    return version
+
+
+def _utc_now() -> str:
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+
+
+def default_catalog_path() -> Path | None:
+    """The ``REPRO_CATALOG`` env var as a path, or ``None`` when unset."""
+    value = os.environ.get(CATALOG_ENV, "").strip()
+    return Path(value) if value else None
+
+
+@dataclass(frozen=True)
+class RequestMix:
+    """The traffic shape distilled from the request log (replay's input).
+
+    ``length_counts`` / ``mode_counts`` are sorted ``(value, count)`` pairs
+    — sorted so plan construction is deterministic regardless of SQL result
+    order.  ``mean_interarrival`` is the observed pacing in seconds (0.0
+    when the log holds fewer than two requests).
+    """
+
+    total: int
+    length_counts: tuple[tuple[int, int], ...]
+    mode_counts: tuple[tuple[str, int], ...]
+    mean_interarrival: float
+    span_seconds: float
+
+
+class Catalog:
+    """One open catalog file; all mutation happens through this class.
+
+    The connection is created with ``check_same_thread=False`` semantics
+    avoided entirely: a :class:`Catalog` belongs to the thread that opened
+    it.  Cross-thread appenders (the server's request log) open their own
+    connection via :func:`connect` — WAL makes the concurrent writes safe.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._conn = connect(self.path)
+        try:
+            self.schema_version = apply_migrations(self._conn)
+        except sqlite3.DatabaseError as exc:
+            self._conn.close()
+            raise CatalogError(f"{self.path} is not a catalog: {exc}") from None
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "Catalog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -------------------------------------------------------------- stores
+    def register_store(
+        self, index_path: str | Path, *, build_seconds: float | None = None
+    ) -> int:
+        """Record a built store or shard manifest; returns its ``store_id``.
+
+        Sniffs the path exactly like ``search-db --index`` (first bytes
+        decide store vs manifest).  Re-registering the same on-disk
+        identity (path + CRC) updates the existing row instead of
+        duplicating it; a rebuilt index at the same path gets a *new* row —
+        the catalog keeps the full build history.
+        """
+        from repro.store import IndexStore, ShardedStore, is_manifest
+        from repro.store.format import header_prefix_crc
+        from repro.store.sharded import manifest_payload_crc
+
+        index_path = Path(index_path)
+        if not index_path.exists():
+            raise CatalogError(f"index {index_path} does not exist")
+        shard_rows: list[tuple[int, str, int, int, int]] = []
+        if is_manifest(index_path):
+            sharded = ShardedStore.open(index_path)
+            kind = "manifest"
+            identity = manifest_payload_crc(sharded.payload)
+            fingerprint = sharded.fingerprint_key
+            records = sharded.record_count
+            total_length = sharded.total_length
+            shard_count = sharded.shard_count
+            file_bytes = index_path.stat().st_size + sum(
+                sharded.shard_path(i).stat().st_size for i in range(shard_count)
+            )
+            lengths = sharded.shard_lengths()
+            for i, spec in enumerate(sharded.payload["shards"]):
+                shard_rows.append(
+                    (
+                        i,
+                        spec["path"],
+                        int(spec["header_crc"]),
+                        len(spec["records"]),
+                        int(lengths[i]),
+                    )
+                )
+        else:
+            store = IndexStore.open(index_path)
+            kind = "store"
+            identity = header_prefix_crc(index_path)
+            fingerprint = store.fingerprint_key
+            meta = store.header["database"]
+            records = int(meta["records"])
+            total_length = int(meta["total_length"])
+            shard_count = 1
+            file_bytes = index_path.stat().st_size
+        with self._conn as conn:
+            row = conn.execute(
+                "SELECT store_id FROM stores WHERE path=? AND identity_crc=?",
+                (str(index_path), identity),
+            ).fetchone()
+            if row is not None:
+                store_id = int(row["store_id"])
+                conn.execute(
+                    "UPDATE stores SET fingerprint=?, records=?, "
+                    "total_length=?, shard_count=?, file_bytes=?, "
+                    "build_seconds=COALESCE(?, build_seconds) "
+                    "WHERE store_id=?",
+                    (
+                        fingerprint, records, total_length, shard_count,
+                        file_bytes, build_seconds, store_id,
+                    ),
+                )
+            else:
+                cursor = conn.execute(
+                    "INSERT INTO stores (path, kind, fingerprint, "
+                    "identity_crc, records, total_length, shard_count, "
+                    "file_bytes, created_utc, build_seconds) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        str(index_path), kind, fingerprint, identity, records,
+                        total_length, shard_count, file_bytes, _utc_now(),
+                        build_seconds,
+                    ),
+                )
+                store_id = int(cursor.lastrowid)
+            conn.execute("DELETE FROM shards WHERE store_id=?", (store_id,))
+            conn.executemany(
+                "INSERT INTO shards (store_id, shard, path, header_crc, "
+                "records, total_length) VALUES (?, ?, ?, ?, ?, ?)",
+                [(store_id, *row) for row in shard_rows],
+            )
+        return store_id
+
+    def stores(self) -> list[sqlite3.Row]:
+        return self._conn.execute(
+            "SELECT * FROM stores ORDER BY store_id"
+        ).fetchall()
+
+    def store(self, store_id: int) -> sqlite3.Row:
+        row = self._conn.execute(
+            "SELECT * FROM stores WHERE store_id=?", (store_id,)
+        ).fetchone()
+        if row is None:
+            raise CatalogError(f"no store #{store_id} in {self.path}")
+        return row
+
+    def store_id_for(self, index_path: str | Path) -> int | None:
+        """The newest catalogued row for ``index_path``, or ``None``."""
+        row = self._conn.execute(
+            "SELECT store_id FROM stores WHERE path=? "
+            "ORDER BY store_id DESC LIMIT 1",
+            (str(Path(index_path)),),
+        ).fetchone()
+        return None if row is None else int(row["store_id"])
+
+    def shards(self, store_id: int) -> list[sqlite3.Row]:
+        return self._conn.execute(
+            "SELECT * FROM shards WHERE store_id=? ORDER BY shard",
+            (store_id,),
+        ).fetchall()
+
+    # ---------------------------------------------------------- benchmarks
+    def record_bench(
+        self,
+        name: str,
+        metrics: dict,
+        *,
+        store_path: str | Path | None = None,
+        store_id: int | None = None,
+        fingerprint: str | None = None,
+    ) -> int:
+        """Record one benchmark result, keyed to a store when one is named.
+
+        ``store_path`` resolves to the newest catalogued row for that path
+        (registering it on the fly if absent); engine benches with no store
+        pass ``fingerprint`` alone so the numbers still tie to an index
+        configuration.
+        """
+        if store_id is None and store_path is not None:
+            store_id = self.store_id_for(store_path)
+            if store_id is None:
+                store_id = self.register_store(store_path)
+        if store_id is not None and fingerprint is None:
+            fingerprint = self.store(store_id)["fingerprint"]
+        with self._conn as conn:
+            cursor = conn.execute(
+                "INSERT INTO benchmarks (store_id, fingerprint, name, "
+                "metrics, created_utc) VALUES (?, ?, ?, ?, ?)",
+                (
+                    store_id,
+                    fingerprint,
+                    name,
+                    json.dumps(metrics, sort_keys=True),
+                    _utc_now(),
+                ),
+            )
+        return int(cursor.lastrowid)
+
+    def benchmarks(self, store_id: int | None = None) -> list[sqlite3.Row]:
+        if store_id is None:
+            return self._conn.execute(
+                "SELECT * FROM benchmarks ORDER BY bench_id"
+            ).fetchall()
+        return self._conn.execute(
+            "SELECT * FROM benchmarks WHERE store_id=? ORDER BY bench_id",
+            (store_id,),
+        ).fetchall()
+
+    # -------------------------------------------------------- request log
+    def request_count(self) -> int:
+        (count,) = self._conn.execute("SELECT COUNT(*) FROM requests").fetchone()
+        return int(count)
+
+    def request_mix(self) -> RequestMix:
+        """Distill the logged traffic into the shape replay reconstructs."""
+        lengths = self._conn.execute(
+            "SELECT query_length, COUNT(*) AS n FROM requests "
+            "WHERE status='ok' GROUP BY query_length ORDER BY query_length"
+        ).fetchall()
+        modes = self._conn.execute(
+            "SELECT mode, COUNT(*) AS n FROM requests "
+            "WHERE status='ok' GROUP BY mode ORDER BY mode"
+        ).fetchall()
+        span = self._conn.execute(
+            "SELECT COUNT(*) AS n, MIN(ts) AS lo, MAX(ts) AS hi "
+            "FROM requests WHERE status='ok'"
+        ).fetchone()
+        total = int(span["n"])
+        width = float(span["hi"] - span["lo"]) if total >= 2 else 0.0
+        mean_gap = width / (total - 1) if total >= 2 else 0.0
+        return RequestMix(
+            total=total,
+            length_counts=tuple(
+                (int(r["query_length"]), int(r["n"])) for r in lengths
+            ),
+            mode_counts=tuple((str(r["mode"]), int(r["n"])) for r in modes),
+            mean_interarrival=mean_gap,
+            span_seconds=width,
+        )
+
+    # ------------------------------------------------------------- verify
+    def verify_all(self) -> list[str]:
+        """Re-verify every catalogued store; returns human-readable problems.
+
+        Three layers per row: the file must exist, its on-disk identity
+        (header CRC / manifest payload CRC) must match what was catalogued
+        at registration, and the store's own checksum verification must
+        pass — so both silent corruption *and* an unrecorded rebuild are
+        reported, each naming the store row.
+        """
+        from repro.store import IndexStore, ShardedStore, is_manifest
+        from repro.store.format import header_prefix_crc
+        from repro.store.sharded import manifest_payload_crc, read_manifest
+
+        problems: list[str] = []
+        for row in self.stores():
+            label = f"store #{row['store_id']} {row['path']}"
+            path = Path(row["path"])
+            if not path.exists():
+                problems.append(f"{label}: file is missing")
+                continue
+            try:
+                if row["kind"] == "manifest":
+                    if not is_manifest(path):
+                        problems.append(
+                            f"{label}: catalogued as a manifest but no "
+                            f"longer parses as one"
+                        )
+                        continue
+                    identity = manifest_payload_crc(read_manifest(path))
+                    sub_problems = ShardedStore.verify(path)
+                else:
+                    identity = header_prefix_crc(path)
+                    sub_problems = IndexStore.verify(path)
+            except ReproError as exc:
+                problems.append(f"{label}: {exc}")
+                continue
+            if identity != int(row["identity_crc"]):
+                problems.append(
+                    f"{label}: on-disk identity {identity:#010x} != "
+                    f"catalogued {int(row['identity_crc']):#010x} "
+                    f"(rebuilt without re-registering?)"
+                )
+            problems.extend(f"{label}: {p}" for p in sub_problems)
+        return problems
+
+
+def maybe_register_build(
+    index_path: str | Path,
+    *,
+    build_seconds: float | None = None,
+    catalog_path: str | Path | None = None,
+) -> int | None:
+    """Register a freshly built index when a catalog is configured.
+
+    ``catalog_path`` (the ``--catalog`` flag) wins over the
+    ``REPRO_CATALOG`` env var; with neither set this is a no-op, so builds
+    without a control plane stay exactly as cheap as before.
+    """
+    path = Path(catalog_path) if catalog_path is not None else default_catalog_path()
+    if path is None:
+        return None
+    with Catalog(path) as catalog:
+        return catalog.register_store(index_path, build_seconds=build_seconds)
+
+
+def maybe_record_bench(
+    name: str,
+    metrics: dict,
+    *,
+    store_path: str | Path | None = None,
+    fingerprint: str | None = None,
+    catalog_path: str | Path | None = None,
+) -> int | None:
+    """Record a bench result when a catalog is configured (else no-op)."""
+    path = Path(catalog_path) if catalog_path is not None else default_catalog_path()
+    if path is None:
+        return None
+    with Catalog(path) as catalog:
+        return catalog.record_bench(
+            name, metrics, store_path=store_path, fingerprint=fingerprint
+        )

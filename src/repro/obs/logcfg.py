@@ -1,0 +1,69 @@
+"""Logging configuration for the ``repro.*`` logger hierarchy.
+
+All diagnostics in ``src/`` go through ``logging.getLogger("repro...")``;
+this module owns the one place handlers are attached.  Libraries stay
+silent by default (standard library behaviour); entry points opt in via
+:func:`configure_logging`, which ``repro serve --log-level/--log-json``
+and the other CLI commands call.
+
+``--log-json`` emits one JSON object per line (``ts``, ``level``,
+``logger``, ``message``) so a served process's stderr can be shipped
+straight into a log pipeline without a parse step.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+
+ROOT_LOGGER = "repro"
+
+
+class JsonLineFormatter(logging.Formatter):
+    """One canonical JSON object per record (machine-readable stderr)."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True)
+
+
+def configure_logging(
+    level: str = "info",
+    *,
+    json_lines: bool = False,
+    stream=None,
+) -> logging.Logger:
+    """Attach one stderr handler to the ``repro`` logger and set its level.
+
+    Idempotent: repeat calls replace the previous handler rather than
+    stacking duplicates (matters for in-process test harnesses that start
+    several servers).
+    """
+    numeric = logging.getLevelName(level.upper())
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level: {level!r}")
+    logger = logging.getLogger(ROOT_LOGGER)
+    logger.setLevel(numeric)
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    if json_lines:
+        handler.setFormatter(JsonLineFormatter())
+    else:
+        formatter = logging.Formatter(
+            "%(asctime)s %(levelname)s %(name)s: %(message)s"
+        )
+        formatter.converter = time.gmtime
+        handler.setFormatter(formatter)
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger

@@ -1,0 +1,164 @@
+"""Opt-in structured request log: one enqueue on the hot path, SQLite off it.
+
+The server must never pay SQLite latency inside a request, so the log is
+split in two halves connected by a lock-free queue:
+
+* :meth:`RequestLog.record` — called on the event-loop thread — appends one
+  plain tuple to a :class:`collections.deque` (a single atomic C-level
+  operation; no lock, no I/O, no dict churn) and sets an event;
+* a daemon writer thread drains the deque in batches and appends them to
+  the catalog's ``requests`` table over its own WAL connection, committing
+  once per batch.
+
+Backpressure is a bounded drop, not a stall: past ``max_pending`` queued
+rows the hot path increments ``dropped`` and returns — an overloaded server
+sheds telemetry before it sheds requests.  ``close()`` flushes everything
+still queued, so short-lived test servers lose nothing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import logging
+import threading
+from collections import deque
+from pathlib import Path
+
+from repro.obs.catalog import Catalog, connect
+
+logger = logging.getLogger("repro.obs.reqlog")
+
+#: Column order of one queued row (mirrors the ``requests`` table).
+REQUEST_COLUMNS = (
+    "ts",
+    "query_hash",
+    "query_length",
+    "mode",
+    "threshold",
+    "e_value",
+    "top_k",
+    "latency_seconds",
+    "cached",
+    "batch_size",
+    "shard_timings",
+    "generation",
+    "status",
+)
+
+_INSERT = (
+    f"INSERT INTO requests ({', '.join(REQUEST_COLUMNS)}) "
+    f"VALUES ({', '.join('?' * len(REQUEST_COLUMNS))})"
+)
+
+
+def query_hash(sequence: str) -> str:
+    """Stable, privacy-preserving identity of a query sequence."""
+    return hashlib.sha256(sequence.encode("ascii")).hexdigest()[:16]
+
+
+class RequestLog:
+    """Append-only request log over a catalog file (see module docstring)."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        flush_interval: float = 0.25,
+        max_pending: int = 50_000,
+    ) -> None:
+        if flush_interval <= 0:
+            raise ValueError(
+                f"flush_interval must be > 0, got {flush_interval}"
+            )
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self.path = Path(path)
+        # Create/migrate the schema up front, on the caller's thread, so a
+        # bad path fails the server's start() instead of a background write.
+        Catalog(self.path).close()
+        self._flush_interval = flush_interval
+        self._max_pending = max_pending
+        self._queue: deque[tuple] = deque()
+        self._wake = threading.Event()
+        self._stopping = False
+        self._closed = threading.Event()
+        self.written = 0  # writer thread only
+        self.dropped = 0  # producer thread only
+        self._write_errors = 0
+        self._thread = threading.Thread(
+            target=self._writer, name="repro-reqlog", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------ hot path
+    def record(self, row: tuple) -> None:
+        """Enqueue one request row (``REQUEST_COLUMNS`` order). O(1), no I/O."""
+        if self._stopping or len(self._queue) >= self._max_pending:
+            self.dropped += 1
+            return
+        self._queue.append(row)
+        if not self._wake.is_set():
+            self._wake.set()
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def counters(self) -> dict:
+        """Snapshot for the ``stats`` RPC."""
+        return {
+            "written": self.written,
+            "dropped": self.dropped,
+            "pending": len(self._queue),
+            "write_errors": self._write_errors,
+            "path": str(self.path),
+        }
+
+    # ----------------------------------------------------------- lifecycle
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop accepting rows, flush the queue, join the writer."""
+        self._stopping = True
+        self._wake.set()
+        self._thread.join(timeout)
+        if self._thread.is_alive():  # pragma: no cover - hung disk
+            logger.warning("request-log writer did not drain in %.1fs", timeout)
+
+    def __enter__(self) -> "RequestLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -------------------------------------------------------------- writer
+    def _drain(self) -> list[tuple]:
+        batch: list[tuple] = []
+        while True:
+            try:
+                batch.append(self._queue.popleft())
+            except IndexError:
+                return batch
+
+    def _writer(self) -> None:
+        conn = connect(self.path)
+        try:
+            while True:
+                self._wake.wait(self._flush_interval)
+                self._wake.clear()
+                batch = self._drain()
+                if batch:
+                    try:
+                        with conn:
+                            conn.executemany(_INSERT, batch)
+                        self.written += len(batch)
+                    except Exception:
+                        # Telemetry must never take the server down; count
+                        # the failure and keep serving.
+                        self._write_errors += 1
+                        logger.exception(
+                            "request-log write of %d rows failed", len(batch)
+                        )
+                if self._stopping and not self._queue:
+                    break
+        finally:
+            conn.close()
+            self._closed.set()

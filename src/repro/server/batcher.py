@@ -28,10 +28,12 @@ worker pool parallelises *inside* the batch), and it takes ``pause`` — an
 from __future__ import annotations
 
 import asyncio
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Awaitable, Callable
 
 from repro.errors import ReproError
+from repro.obs.spans import SPAN_ADMISSION_WAIT, SPAN_BATCH_LINGER
 from repro.service import Query, QueryResult
 
 
@@ -61,6 +63,7 @@ class PendingQuery:
     query: Query
     key: BatchKey
     future: asyncio.Future
+    submitted: float = field(default_factory=perf_counter)
 
 
 #: Runner signature: executes one batch *off* the event loop and returns
@@ -79,7 +82,7 @@ class MicroBatcher:
         linger: float = 0.002,
         max_queue: int = 256,
         pause: asyncio.Lock | None = None,
-        on_batch: Callable[[int], None] | None = None,
+        on_batch: Callable[[int, dict], None] | None = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -173,6 +176,18 @@ class MicroBatcher:
         self._fail_remaining(ReproError("server is shutting down"))
 
     async def _run_batch(self, batch: list[PendingQuery]) -> None:
+        run_start = perf_counter()
+        # Queue-time accounting: how long the members waited for dispatch
+        # (admission wait, summed) and how long the batch as a whole
+        # lingered for company (its oldest member's wait).
+        batch_spans = {
+            SPAN_ADMISSION_WAIT: sum(
+                max(0.0, run_start - item.submitted) for item in batch
+            ),
+            SPAN_BATCH_LINGER: max(
+                0.0, run_start - min(item.submitted for item in batch)
+            ),
+        }
         async with self.pause:  # a reload in progress finishes first
             queries = [item.query for item in batch]
             try:
@@ -197,7 +212,7 @@ class MicroBatcher:
                     item.future.set_result(result)
         self._pending -= len(batch)
         if self._on_batch is not None:
-            self._on_batch(len(batch))
+            self._on_batch(len(batch), batch_spans)
 
     def _fail_remaining(self, exc: Exception) -> None:
         if self._holdover is not None:

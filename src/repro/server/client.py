@@ -51,6 +51,9 @@ class ServedResult:
     dropped_boundary: int
     cached: bool
     extra: dict = field(default_factory=dict)
+    #: Trace-span breakdown (``engine``/``locate``/``merge``/``shard<i>``
+    #: seconds); populated only for ``search(..., trace=True)``.
+    spans: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -177,10 +180,13 @@ class ServerClient:
         *,
         top_k: int | None = None,
         mode: str | None = None,
+        trace: bool = False,
     ) -> ServedBatch:
         """Search a batch (same inputs as ``SearchService.search_batch``).
 
         ``mode=None`` leaves the choice to the server's default mode.
+        ``trace=True`` asks the server for per-result span breakdowns
+        (:attr:`ServedResult.spans`).
         """
         normalized = normalize_queries(queries)
         payload: dict = {
@@ -195,6 +201,8 @@ class ServerClient:
             payload["top_k"] = top_k
         if mode is not None:
             payload["mode"] = mode
+        if trace:
+            payload["trace"] = True
         response = self.request(payload)
         status = response.get("status")
         if status == "overloaded":
@@ -210,6 +218,7 @@ class ServerClient:
                 dropped_boundary=entry["dropped"],
                 cached=entry["cached"],
                 extra=entry.get("extra", {}),
+                spans=entry.get("spans", {}),
             )
             for entry in response["results"]
         ]

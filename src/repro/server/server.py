@@ -32,13 +32,18 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import json
+import logging
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
 from repro.engine import MODE_ENGINE_NAMES, check_mode
 from repro.errors import ReproError
 from repro.io.database import LocatedHit
+from repro.obs.reqlog import RequestLog, query_hash
+from repro.obs.spans import shard_seconds
 from repro.server.batcher import BatchKey, MicroBatcher, Overloaded
 from repro.server.cache import CachedResult, ResultCache
 from repro.server.protocol import (
@@ -61,6 +66,8 @@ from repro.service import (
 from repro.store import is_manifest, read_manifest
 from repro.store.format import header_prefix_crc
 from repro.store.sharded import manifest_payload_crc
+
+logger = logging.getLogger("repro.server")
 
 
 def index_epoch(path: str | Path) -> int:
@@ -138,6 +145,13 @@ class SearchServer:
         Per-connection pipelining cap; the reader stops consuming frames
         while this many responses are pending, pushing backpressure into
         the client's TCP window.
+    request_log:
+        Optional path to a catalog database; when set, every search
+        request appends one structured row (query hash + length, mode,
+        params, latency, cache hit, batch size, per-shard timings,
+        generation, status) via :class:`~repro.obs.reqlog.RequestLog` —
+        the hot path pays one deque enqueue, SQLite happens on a
+        background thread.
     """
 
     def __init__(
@@ -157,6 +171,7 @@ class SearchServer:
         engine_kwargs: dict | None = None,
         max_frame: int = MAX_FRAME_BYTES,
         max_inflight: int = 32,
+        request_log: str | Path | None = None,
     ) -> None:
         if max_inflight < 1:
             raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
@@ -190,6 +205,10 @@ class SearchServer:
         self._conn_tasks: set[asyncio.Task] = set()
         self._stopped_event: asyncio.Event | None = None
         self._stopping = False
+        self._request_log_path = (
+            None if request_log is None else Path(request_log)
+        )
+        self._request_log: RequestLog | None = None
 
     # -------------------------------------------------------------- lifecycle
     @property
@@ -214,10 +233,16 @@ class SearchServer:
             self._executor, self._open_service
         )
         self.generation = 1
+        if self._request_log_path is not None:
+            # Built on the executor thread: schema creation is SQLite I/O.
+            self._request_log = await loop.run_in_executor(
+                self._executor, RequestLog, self._request_log_path
+            )
+            logger.info("request log -> %s", self._request_log_path)
         self._batcher = MicroBatcher(
             self._run_batch,
             pause=self._pause,
-            on_batch=self._stats.record_batch,
+            on_batch=self._on_batch,
             **self._batch_shape,
         )
         self._batcher.start()
@@ -225,6 +250,11 @@ class SearchServer:
             self._handle_connection, self.host, self._requested_port
         )
         self._bound_port = self._server.sockets[0].getsockname()[1]
+        logger.info(
+            "serving %s on %s:%d (mode=%s, sharded=%s)",
+            self.index_path, self.host, self._bound_port,
+            self.default_mode, self.sharded,
+        )
         if self.reload_poll > 0:
             self._reload_task = loop.create_task(
                 self._reload_loop(), name="repro-serve-reload"
@@ -257,6 +287,10 @@ class SearchServer:
             await asyncio.gather(*self._conn_tasks, return_exceptions=True)
         if self._executor is not None:
             self._executor.shutdown(wait=True)
+        if self._request_log is not None:
+            self._request_log.close()
+            self._request_log = None
+        logger.info("server stopped")
         if self._stopped_event is not None:
             self._stopped_event.set()
 
@@ -271,10 +305,16 @@ class SearchServer:
             self._executor, self._search_batch_sync, queries, key
         )
 
+    def _on_batch(self, count: int, spans: dict) -> None:
+        """Batcher callback: batch shape plus queue-time span totals."""
+        self._stats.record_batch(count)
+        self._stats.record_spans(spans)
+
     def _search_batch_sync(
         self, queries: list[Query], key: BatchKey
-    ) -> "list[tuple[int, QueryResult]]":
-        """One service call for the whole batch; results tagged with the epoch.
+    ) -> "list[tuple[int, int, QueryResult]]":
+        """One service call for the whole batch; results tagged with the
+        epoch that served them and the size of the batch they rode in.
 
         Runs under the batcher's pause lock, which the reload task holds
         while swapping the service — so the epoch read here always matches
@@ -288,15 +328,21 @@ class SearchServer:
             top_k=key.top_k,
             mode=key.mode,
         )
-        return [(self._epoch, result) for result in report.results]
+        return [
+            (self._epoch, len(queries), result) for result in report.results
+        ]
 
     async def _reload_loop(self) -> None:
         while True:
             await asyncio.sleep(self.reload_poll)
-            with contextlib.suppress(Exception):
+            try:
+                await self.maybe_reload()
+            except Exception:
                 # A half-written index (mid-rebuild) fails to open; keep
                 # serving the old one and try again next tick.
-                await self.maybe_reload()
+                logger.debug(
+                    "reload poll failed (index mid-rebuild?)", exc_info=True
+                )
 
     async def maybe_reload(self) -> bool:
         """Re-open the index iff its on-disk fingerprint changed.
@@ -324,6 +370,10 @@ class SearchServer:
             self.generation += 1
             self._cache.clear()
             self._stats.count("reloads_total")
+            logger.info(
+                "hot reload: %s -> generation %d",
+                self.index_path, self.generation,
+            )
         return True
 
     # ------------------------------------------------------------ connections
@@ -446,6 +496,8 @@ class SearchServer:
             )
             body.update(self._batch_shape)
             body["cache_size"] = len(self._cache)
+            if self._request_log is not None:
+                body["request_log"] = self._request_log.counters()
             return {
                 "status": "ok",
                 "stats": body,
@@ -521,6 +573,49 @@ class SearchServer:
             mode=mode,
         )
 
+    def _log_search(
+        self,
+        queries: list[Query],
+        key: BatchKey,
+        *,
+        latency: float,
+        status: str,
+        per_query: "list[tuple[bool, int, dict]] | None" = None,
+    ) -> None:
+        """Append one request-log row per query (no-op when logging is off).
+
+        ``per_query`` carries ``(cached, batch_size, spans)`` for served
+        requests; rejected/failed requests log with empty telemetry so the
+        traffic mix still counts them.
+        """
+        if self._request_log is None:
+            return
+        now = time.time()
+        for pos, query in enumerate(queries):
+            cached, batch_size, spans = (
+                per_query[pos] if per_query is not None else (False, 0, {})
+            )
+            shards = shard_seconds(spans)
+            self._request_log.record(
+                (
+                    now,
+                    query_hash(query.sequence),
+                    len(query.sequence),
+                    key.mode,
+                    key.threshold,
+                    key.e_value,
+                    key.top_k,
+                    latency,
+                    int(cached),
+                    batch_size,
+                    json.dumps([round(s, 6) for s in shards])
+                    if shards
+                    else None,
+                    self.generation,
+                    status,
+                )
+            )
+
     async def _handle_search(self, payload: dict) -> dict:
         assert self._batcher is not None
         loop = asyncio.get_running_loop()
@@ -529,6 +624,7 @@ class SearchServer:
             queries, key = self._parse_search(payload)
         except ReproError as exc:
             return {"status": "error", "error": str(exc)}
+        trace = bool(payload.get("trace"))
         epoch = self._epoch
         slots: list = []  # per query: ("hit", QueryResult) | ("miss", Future, key)
         misses = 0
@@ -549,6 +645,10 @@ class SearchServer:
         # describes served traffic even under sustained overload.
         if self._batcher.depth + misses > self._batcher.max_queue:
             self._stats.count("overloaded_total")
+            self._log_search(
+                queries, key,
+                latency=loop.time() - arrived, status="overloaded",
+            )
             return {
                 "status": "overloaded",
                 "error": (
@@ -571,6 +671,9 @@ class SearchServer:
             status = "overloaded" if isinstance(exc, Overloaded) else "error"
             if status == "overloaded":
                 self._stats.count("overloaded_total")
+            self._log_search(
+                queries, key, latency=loop.time() - arrived, status=status
+            )
             return {"status": status, "error": str(exc)}
         self._stats.count("cache_hits", len(queries) - misses)
         self._stats.count("cache_misses", misses)
@@ -585,10 +688,12 @@ class SearchServer:
         failure: BaseException | None = None
         fresh = iter(outcomes)
         results: list[dict] = []
+        per_query: list[tuple[bool, int, dict]] = []
         for entry in entries:
             if entry[0] == "hit":
                 result: QueryResult = entry[1]
                 cached_flag = True
+                batch_size = 0
             else:
                 _tag, query, cache_key, _future = entry
                 outcome = next(fresh)
@@ -597,7 +702,7 @@ class SearchServer:
                         failure = failure or outcome
                         continue
                     raise outcome  # cancellation or a handler bug
-                served_epoch, result = outcome
+                served_epoch, batch_size, result = outcome
                 # The result came from the generation that ran the batch;
                 # if a reload slipped in between admit and run, key the
                 # entry under the epoch that actually served it — the old
@@ -609,6 +714,8 @@ class SearchServer:
                     )
                 self._cache.put(cache_key, CachedResult.from_result(result))
                 cached_flag = False
+                self._stats.record_spans(result.stats.spans)
+            per_query.append((cached_flag, batch_size, result.stats.spans))
             body = {
                 "id": result.query_id,
                 "threshold": result.threshold,
@@ -621,14 +728,23 @@ class SearchServer:
                 # Mode-specific accounting (seed counts, recall_vs_exact):
                 # exact responses keep the original payload shape.
                 body["extra"] = dict(result.stats.extra)
+            if trace:
+                body["spans"] = {
+                    name: round(seconds, 6)
+                    for name, seconds in sorted(result.stats.spans.items())
+                }
             results.append(body)
-        if failure is not None:
-            return {"status": "error", "error": str(failure)}
         elapsed = loop.time() - arrived
+        if failure is not None:
+            self._log_search(queries, key, latency=elapsed, status="error")
+            return {"status": "error", "error": str(failure)}
         for _ in queries:
             self._stats.latency.observe(elapsed)
         self._stats.qps.mark(len(queries))
         self._stats.count("queries_total", len(queries))
+        self._log_search(
+            queries, key, latency=elapsed, status="ok", per_query=per_query
+        )
         return {
             "status": "ok",
             "engine": MODE_ENGINE_NAMES[key.mode],

@@ -50,25 +50,41 @@ class RateWindow:
     def __init__(self, size: int = 4096, horizon: float = 60.0) -> None:
         self._stamps: deque[float] = deque(maxlen=size)
         self._horizon = horizon
+        self._started = time.monotonic()
         self._lock = threading.Lock()
+
+    def _prune(self, now: float) -> None:
+        # The deque's maxlen bounds count, not age; drop stamps older than
+        # the horizon so an idle stretch cannot leave stale history behind.
+        floor = now - self._horizon
+        while self._stamps and self._stamps[0] < floor:
+            self._stamps.popleft()
 
     def mark(self, count: int = 1) -> None:
         now = time.monotonic()
         with self._lock:
+            self._prune(now)
             for _ in range(count):
                 self._stamps.append(now)
 
     def per_second(self) -> float:
         now = time.monotonic()
-        floor = now - self._horizon
         with self._lock:
-            recent = [s for s in self._stamps if s >= floor]
-        if len(recent) < 2:
-            return 0.0
-        span = now - recent[0]
-        if span <= 0:
-            return 0.0
-        return len(recent) / span
+            self._prune(now)
+            if not self._stamps:
+                return 0.0
+            # The denominator is the observation window, clamped to the
+            # horizon — NOT the spread of surviving stamps.  Two events
+            # arriving just after an idle stretch span microseconds; the
+            # old stamp-spread denominator reported them as a huge qps.
+            span = min(self._horizon, now - self._started)
+            if len(self._stamps) == self._stamps.maxlen:
+                # The ring evicted in-horizon stamps; only the retained
+                # tail is countable, so measure over its own extent.
+                span = min(span, now - self._stamps[0])
+            if span <= 0:
+                return 0.0
+            return len(self._stamps) / span
 
 
 class ServerStats:
@@ -88,6 +104,7 @@ class ServerStats:
         self.reloads_total = 0
         self.latency = LatencyWindow()
         self.qps = RateWindow()
+        self.span_seconds: dict[str, float] = {}
 
     def count(self, field: str, amount: int = 1) -> None:
         with self._lock:
@@ -97,6 +114,14 @@ class ServerStats:
         with self._lock:
             self.batches_total += 1
             self.batched_queries_total += queries
+
+    def record_spans(self, spans: dict) -> None:
+        """Fold one request's (or batch's) span breakdown into the totals."""
+        with self._lock:
+            for name, seconds in spans.items():
+                self.span_seconds[name] = (
+                    self.span_seconds.get(name, 0.0) + seconds
+                )
 
     def snapshot(self, *, queue_depth: int, generation: int) -> dict:
         with self._lock:
@@ -112,6 +137,10 @@ class ServerStats:
                 "protocol_errors": self.protocol_errors,
                 "batches_total": batches,
                 "reloads_total": self.reloads_total,
+                "spans_seconds": {
+                    name: round(total, 6)
+                    for name, total in sorted(self.span_seconds.items())
+                },
             }
         lookups = hits + misses
         body["cache_hit_rate"] = hits / lookups if lookups else 0.0

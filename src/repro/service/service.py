@@ -34,6 +34,7 @@ import warnings
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
+from time import perf_counter
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
@@ -57,6 +58,7 @@ from repro.engine import (
 from repro.errors import ReproError
 from repro.io.database import LocatedHit, SequenceDatabase
 from repro.io.fasta import FastaRecord, parse_fasta_file
+from repro.obs.spans import SPAN_ENGINE, SPAN_LOCATE, add_span
 from repro.scoring.scheme import DEFAULT_SCHEME, ScoringScheme
 from repro.store import IndexStore, default_store_cache
 from repro.store.format import header_prefix_crc
@@ -561,10 +563,13 @@ class SearchService:
         mode: str | None = None,
     ) -> QueryResult:
         backend = self.backend(mode)
+        t0 = perf_counter()
         result = backend.search(
             query.sequence, threshold=threshold, e_value=e_value
         )
+        add_span(result.stats.spans, SPAN_ENGINE, perf_counter() - t0)
         raw = result.hits.hits()
+        t0 = perf_counter()
         located: list[tuple[int, LocatedHit]] = []
         shadowed: dict[int, list[tuple[int, Hit]]] = {}
         for pos, hit in enumerate(raw):
@@ -581,6 +586,7 @@ class SearchService:
                 )
             )
         located.sort(key=lambda item: item[0])
+        add_span(result.stats.spans, SPAN_LOCATE, perf_counter() - t0)
         hits = [placed for _pos, placed in located]
         if backend.info.ordering == ORDER_SCORE:
             # Score-ordered backends present a ranked candidate list — the

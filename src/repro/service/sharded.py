@@ -45,6 +45,7 @@ import warnings
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 from pathlib import Path
+from time import perf_counter
 from typing import Iterable, Iterator
 
 from repro.scoring.evalue import resolve_threshold
@@ -54,6 +55,7 @@ from repro.engine import MODE_ORDERINGS, ORDER_SCORE, check_mode
 from repro.errors import ReproError
 from repro.io.database import LocatedHit
 from repro.io.fasta import parse_fasta_file
+from repro.obs.spans import SPAN_ENGINE, SPAN_LOCATE, SPAN_MERGE, add_span, shard_span
 from repro.scoring.scheme import ScoringScheme
 from repro.service.service import (
     BatchReport,
@@ -323,6 +325,7 @@ class ShardedSearchService:
         position as the tie-break, matching the unsharded presentation.
         With ``top_k`` the ranked order is additionally truncated.
         """
+        merge_start = perf_counter()
         merged: list[tuple[int, int, LocatedHit]] = []
         for shard, result in enumerate(per_shard):
             mapping = self._shard_records[shard]
@@ -348,6 +351,15 @@ class ShardedSearchService:
         raw = sum(result.raw_hits for result in per_shard)
         dropped = sum(result.dropped_boundary for result in per_shard)
         stats = SearchStats.aggregate(r.stats for r in per_shard)
+        # Attribute each shard's own wall time before folding in the merge
+        # cost, so a trace shows fan-out skew (hottest shard) at a glance.
+        for shard, result in enumerate(per_shard):
+            spans = result.stats.spans
+            seconds = spans.get(SPAN_ENGINE, 0.0) + spans.get(SPAN_LOCATE, 0.0)
+            if seconds == 0.0:  # process pools may strip spans; fall back
+                seconds = result.stats.elapsed_seconds
+            add_span(stats.spans, shard_span(shard), seconds)
+        add_span(stats.spans, SPAN_MERGE, perf_counter() - merge_start)
         if "exact_hits" in stats.extra and "verified_hits" in stats.extra:
             # Aggregation summed the per-shard recall *ratios*; the global
             # recall is the ratio of the summed counts (hits are

@@ -26,6 +26,7 @@ from repro.server import (
     MicroBatcher,
     Overloaded,
     ProtocolError,
+    RateWindow,
     ResultCache,
     SearchServer,
     ServerClient,
@@ -134,6 +135,103 @@ class TestLatencyWindow:
         pts = window.percentiles()
         assert pts["p50"] <= pts["p90"] <= pts["p99"] <= pts["max"]
         assert pts["max"] == pytest.approx(0.1)
+
+    def test_single_sample_everywhere(self):
+        window = LatencyWindow()
+        window.observe(0.042)
+        pts = window.percentiles()
+        assert pts == {
+            "p50": 0.042, "p90": 0.042, "p99": 0.042, "max": 0.042,
+        }
+
+    def test_size_one_window_keeps_latest(self):
+        window = LatencyWindow(size=1)
+        for value in (0.5, 0.1, 0.3):
+            window.observe(value)
+        assert window.percentiles()["p50"] == pytest.approx(0.3)
+        assert window.percentiles()["max"] == pytest.approx(0.3)
+
+    def test_nearest_rank_boundaries(self):
+        window = LatencyWindow(size=10)
+        for value in range(1, 11):  # 1..10 ms
+            window.observe(value / 1000.0)
+        pts = window.percentiles()
+        # Nearest-rank over 10 samples: rank 5 -> 6 ms, rank 9 -> 10 ms.
+        assert pts["p50"] == pytest.approx(0.006)
+        assert pts["p90"] == pytest.approx(0.010)
+        assert pts["p99"] == pytest.approx(0.010)
+
+    def test_eviction_drops_old_extremes(self):
+        window = LatencyWindow(size=2)
+        window.observe(1.0)  # evicted below
+        window.observe(0.001)
+        window.observe(0.002)
+        assert window.percentiles()["max"] == pytest.approx(0.002)
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            LatencyWindow(size=0)
+
+
+class TestRateWindow:
+    class _Clock:
+        def __init__(self, start=1000.0):
+            self.now = start
+
+        def __call__(self):
+            return self.now
+
+    @pytest.fixture()
+    def clock(self, monkeypatch):
+        clock = self._Clock()
+        monkeypatch.setattr("repro.server.stats.time.monotonic", clock)
+        return clock
+
+    def test_empty_is_zero(self, clock):
+        assert RateWindow().per_second() == 0.0
+
+    def test_steady_rate(self, clock):
+        window = RateWindow(horizon=60.0)
+        for _ in range(600):
+            window.mark()
+            clock.now += 0.1
+        # 600 events over the last 60s of a 60s-old window: ~10/s.
+        assert window.per_second() == pytest.approx(10.0, rel=0.05)
+
+    def test_young_window_uses_own_age(self, clock):
+        window = RateWindow(horizon=60.0)
+        for _ in range(10):
+            window.mark()
+            clock.now += 0.1
+        # 10 events in the 1s the window has existed: 10/s, not 10/60.
+        assert window.per_second() == pytest.approx(10.0, rel=0.05)
+
+    def test_burst_after_idle_not_inflated(self, clock):
+        window = RateWindow(horizon=60.0)
+        window.mark()
+        clock.now += 300.0  # idle stretch; the old stamp falls out
+        window.mark()
+        clock.now += 0.001
+        window.mark()
+        # Two events just after a long idle must read ~2/60s, not
+        # 2 / 0.001s — the old stamp-spread denominator's failure mode.
+        assert window.per_second() == pytest.approx(2 / 60.0, rel=0.05)
+
+    def test_stale_stamps_pruned(self, clock):
+        window = RateWindow(horizon=60.0)
+        for _ in range(5):
+            window.mark()
+        clock.now += 120.0
+        assert window.per_second() == 0.0
+
+    def test_saturated_ring_measures_tail(self, clock):
+        window = RateWindow(size=4, horizon=60.0)
+        for _ in range(8):
+            window.mark()
+            clock.now += 1.0
+        # The ring kept the last 4 stamps (ages 1..4s); counting them over
+        # the window's full 8s age would halve the true rate.
+        assert window.per_second() == pytest.approx(1.0, rel=0.35)
 
 
 class TestResultCache:
