@@ -1,0 +1,43 @@
+"""``repro/analysis`` — the repo's invariants as machine-enforced AST rules.
+
+The same bug classes kept recurring across PRs (a falsy-sentinel test
+fixed by hand in PR 3 and again in PR 5; a wire parameter threaded through
+only two of the three keys it feeds in PR 6).  This subsystem turns each
+of those classes into a registered :class:`~repro.analysis.base.Checker`
+that walks the source AST on every CI run — reviewer memory becomes a
+gate (``repro lint src/``).
+
+See the README "Static analysis" section for the invariant catalog, and
+``# repro-lint: allow[CODE] -- reason`` for the (reason-mandatory)
+suppression syntax.
+"""
+
+from repro.analysis.base import CHECKERS, BaseChecker, Checker, LintError, register
+from repro.analysis.config import LintConfig, load_config
+from repro.analysis.findings import (
+    SEVERITIES,
+    SEVERITY_ERROR,
+    SEVERITY_OFF,
+    SEVERITY_WARNING,
+    Finding,
+)
+from repro.analysis.runner import LintReport, run_lint
+from repro.analysis.suppressions import SUPPRESSION_CODE
+
+__all__ = [
+    "CHECKERS",
+    "BaseChecker",
+    "Checker",
+    "Finding",
+    "LintConfig",
+    "LintError",
+    "LintReport",
+    "SEVERITIES",
+    "SEVERITY_ERROR",
+    "SEVERITY_OFF",
+    "SEVERITY_WARNING",
+    "SUPPRESSION_CODE",
+    "load_config",
+    "register",
+    "run_lint",
+]

@@ -1,0 +1,90 @@
+"""Small AST conveniences shared by the checkers."""
+
+from __future__ import annotations
+
+import ast
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, None for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def module_path_matches(rel: str, patterns: "tuple[str, ...]") -> bool:
+    """True when ``rel`` is covered by one of the path patterns.
+
+    A pattern ending in ``/`` matches any file under a directory of that
+    (possibly nested) name; anything else is a path-suffix match, so config
+    entries stay short (``data/synthetic.py``) and survive repo moves.
+    """
+    probe = "/" + rel
+    for pattern in patterns:
+        if pattern.endswith("/"):
+            if ("/" + pattern) in probe or rel.startswith(pattern):
+                return True
+        elif probe.endswith("/" + pattern) or rel == pattern:
+            return True
+    return False
+
+
+def top_level_bindings(tree: ast.Module) -> tuple[dict[str, int], dict[str, int]]:
+    """Names bound at module top level: ``(defined, imported)`` -> lineno.
+
+    Descends into top-level ``if``/``try`` blocks (the conventional homes of
+    guarded imports and version fallbacks) but not into function or class
+    bodies.
+    """
+    defined: dict[str, int] = {}
+    imported: dict[str, int] = {}
+
+    def visit(statements) -> None:
+        for node in statements:
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                defined.setdefault(node.name, node.lineno)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        defined.setdefault(target.id, node.lineno)
+            elif isinstance(node, ast.AnnAssign):
+                if isinstance(node.target, ast.Name):
+                    defined.setdefault(node.target.id, node.lineno)
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                for alias in node.names:
+                    bound = (alias.asname or alias.name).split(".")[0]
+                    imported.setdefault(bound, node.lineno)
+            elif isinstance(node, ast.If):
+                visit(node.body)
+                visit(node.orelse)
+            elif isinstance(node, ast.Try):
+                visit(node.body)
+                for handler in node.handlers:
+                    visit(handler.body)
+                visit(node.orelse)
+                visit(node.finalbody)
+
+    visit(tree.body)
+    return defined, imported
+
+
+def literal_str_elements(node: ast.AST) -> "list[tuple[str, int]] | None":
+    """``[(value, lineno), ...]`` for a list/tuple of string constants."""
+    if not isinstance(node, (ast.List, ast.Tuple)):
+        return None
+    out: list[tuple[str, int]] = []
+    for element in node.elts:
+        if not (
+            isinstance(element, ast.Constant)
+            and isinstance(element.value, str)
+        ):
+            return None
+        out.append((element.value, element.lineno))
+    return out

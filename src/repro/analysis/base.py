@@ -1,0 +1,110 @@
+"""Checker protocol and registry (mirrors the ``repro/engine`` idiom).
+
+A checker is a small object that declares an identity (``code``, ``name``,
+``description``, the PR where its bug class originally bit) and walks parsed
+source.  Two scopes exist:
+
+* ``file`` checkers see one :class:`ParsedFile` at a time — most invariants
+  are local (a truthiness test on a sentinel field is wrong wherever it is);
+* ``project`` checkers see the whole :class:`Project` and catch *drift*
+  between files (a wire parameter parsed in ``server.py`` but missing from
+  the cache key in ``cache.py``).
+
+Registration is declarative: defining a checker class decorated with
+:func:`register` adds it to :data:`CHECKERS`, exactly as engine backends
+join the mode registry — the CLI, the runner and the docs all iterate the
+same table, so a new checker cannot be half-wired.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Protocol, runtime_checkable
+
+from repro.analysis.findings import SEVERITY_ERROR, Finding
+from repro.errors import ReproError
+
+
+class LintError(ReproError):
+    """Lint could not run (bad path, bad config, duplicate checker code)."""
+
+
+@dataclass
+class ParsedFile:
+    """One source file, parsed once and shared by every checker.
+
+    ``rel`` is the posix-style path string used in findings and for
+    path-suffix matching (``rel.endswith("server/cache.py")``), so checkers
+    never re-derive module identity from the filesystem.
+    """
+
+    rel: str
+    source: str
+    tree: ast.Module
+    #: line -> set of codes allowed by an inline suppression directive
+    #: (populated by the suppression scanner before checkers run).
+    allowed: dict[int, set[str]] = field(default_factory=dict)
+
+    def is_init(self) -> bool:
+        return self.rel.endswith("__init__.py")
+
+
+@dataclass
+class Project:
+    """Every parsed file of one lint invocation, for cross-file passes."""
+
+    files: list[ParsedFile]
+
+    def find(self, suffix: str) -> ParsedFile | None:
+        """The unique file whose path ends with ``suffix`` (None if absent)."""
+        matches = [f for f in self.files if f.rel.endswith(suffix)]
+        return matches[0] if len(matches) == 1 else None
+
+
+@runtime_checkable
+class Checker(Protocol):
+    """What the runner requires of a checker instance."""
+
+    code: str
+    name: str
+    description: str
+    origin: str  # the PR where this bug class originally bit
+    scope: str  # "file" or "project"
+    default_severity: str
+
+    def check(
+        self, target: "ParsedFile | Project", config
+    ) -> Iterable[Finding]: ...
+
+
+#: code -> checker instance, in registration order.
+CHECKERS: dict[str, Checker] = {}
+
+
+def register(cls):
+    """Class decorator: instantiate and add to :data:`CHECKERS` by code."""
+    checker = cls()
+    if checker.code in CHECKERS:
+        raise LintError(f"duplicate checker code {checker.code}")
+    CHECKERS[checker.code] = checker
+    return cls
+
+
+class BaseChecker:
+    """Shared defaults so concrete checkers only declare what differs."""
+
+    scope = "file"
+    default_severity = SEVERITY_ERROR
+    origin = ""
+
+    def finding(
+        self, rel: str, line: int, message: str, severity: str
+    ) -> Finding:
+        return Finding(
+            path=rel,
+            line=line,
+            code=self.code,
+            severity=severity,
+            message=message,
+        )

@@ -1,0 +1,24 @@
+"""Checker implementations; importing this package registers them all.
+
+Each module defines one checker class decorated with
+:func:`~repro.analysis.base.register`, so the import list below *is* the
+active rule set — a checker missing here is a checker that never runs.
+"""
+
+from repro.analysis.checkers import (  # noqa: F401  (import-for-registration)
+    async_blocking,
+    cache_key,
+    determinism,
+    exceptions,
+    exports,
+    sentinel,
+)
+
+__all__ = [
+    "async_blocking",
+    "cache_key",
+    "determinism",
+    "exceptions",
+    "exports",
+    "sentinel",
+]

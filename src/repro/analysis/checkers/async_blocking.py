@@ -1,0 +1,102 @@
+"""REP401 async-blocking: the serving event loop never waits on I/O.
+
+The server's whole design hinges on one rule: alignment work, SQLite, and
+file I/O happen on executor threads; the event loop only shuffles frames
+(see ``repro/server/server.py`` — every blocking step goes through
+``loop.run_in_executor``).  One direct ``sqlite3.connect`` or ``open()``
+inside an ``async def`` stalls *every* connection, and nothing fails — the
+server just gets mysteriously slow under load.
+
+Flagged inside ``async def`` bodies of the configured async modules
+(``[tool.repro-lint] async-modules``):
+
+* ``time.sleep`` (use ``asyncio.sleep``);
+* any ``sqlite3.*`` call;
+* ``open()`` and Path content I/O (``read_text`` / ``write_text`` /
+  ``read_bytes`` / ``write_bytes``);
+* un-awaited ``.acquire()`` (a threading lock blocks; asyncio primitives
+  are awaited, which is the legal spelling).
+
+Nested ``def`` bodies are skipped: a closure handed to an executor runs
+off-loop by construction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.astutil import dotted_name
+from repro.analysis.base import BaseChecker, ParsedFile, register
+from repro.analysis.findings import Finding
+from repro.analysis.astutil import module_path_matches
+
+_FILE_IO_ATTRS = {"read_text", "write_text", "read_bytes", "write_bytes"}
+
+
+def _async_walk(func: ast.AsyncFunctionDef):
+    """Walk one async body without descending into nested function defs."""
+    stack = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class AsyncBlocking(BaseChecker):
+    code = "REP401"
+    name = "async-blocking"
+    description = (
+        "async def bodies in the serving tier must not call blocking "
+        "primitives (time.sleep, sqlite3, file I/O, bare Lock.acquire) "
+        "directly; route them through an executor"
+    )
+    origin = "PR 4 (the event loop never blocks on alignment work)"
+
+    def check(self, target: ParsedFile, config) -> Iterable[Finding]:
+        if not module_path_matches(target.rel, config.async_modules):
+            return
+        severity = config.severity_of(self.code, self.default_severity)
+        for node in ast.walk(target.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._check_async(target, node, severity)
+
+    def _check_async(
+        self, target: ParsedFile, func: ast.AsyncFunctionDef, severity: str
+    ) -> Iterable[Finding]:
+        awaited: set[int] = set()
+        calls: list[ast.Call] = []
+        for node in _async_walk(func):
+            if isinstance(node, ast.Await):
+                awaited.add(id(node.value))
+            elif isinstance(node, ast.Call):
+                calls.append(node)
+        for call in calls:
+            label = self._blocking_label(call, id(call) in awaited)
+            if label is not None:
+                yield self.finding(
+                    target.rel,
+                    call.lineno,
+                    f"{label} inside 'async def {func.name}' blocks the "
+                    f"event loop; run it via loop.run_in_executor",
+                    severity,
+                )
+
+    @staticmethod
+    def _blocking_label(call: ast.Call, is_awaited: bool) -> str | None:
+        name = dotted_name(call.func)
+        if name == "time.sleep":
+            return "time.sleep()"
+        if name is not None and (
+            name.startswith("sqlite3.") or name == "open"
+        ):
+            return f"{name}()"
+        if isinstance(call.func, ast.Attribute):
+            if call.func.attr in _FILE_IO_ATTRS:
+                return f".{call.func.attr}() file I/O"
+            if call.func.attr == "acquire" and not is_awaited:
+                return "un-awaited .acquire()"
+        return None

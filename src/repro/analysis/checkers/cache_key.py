@@ -1,0 +1,206 @@
+"""REP301 cache-key drift: a wire parameter must reach every key it feeds.
+
+PR 6 added ``mode`` to the search request and then had to hand-thread it
+through :class:`~repro.server.batcher.BatchKey` (so tiers never share a
+batch), :meth:`~repro.server.cache.ResultCache.key` (so a cached exact
+answer is never replayed for a fast request) and the request-log columns
+(so replay reconstructs the real traffic mix).  Forgetting any one of the
+three is silent: results are *wrong* (stale cache hits across parameter
+values) rather than failing.
+
+This cross-file pass re-derives the contract from the AST on every run:
+
+* the wire surface — every ``payload.get("<field>")`` inside
+  ``SearchServer._parse_search`` / ``_handle_search``
+  (``server/server.py``), minus the fields that cannot affect a result
+  (:data:`NON_KEY_WIRE_FIELDS`);
+* the batch key — field names of the ``BatchKey`` dataclass
+  (``server/batcher.py``);
+* the cache key — parameter names of ``ResultCache.key``
+  (``server/cache.py``);
+* the log schema — entries of ``REQUEST_COLUMNS`` (``obs/reqlog.py``).
+
+Every wire field must appear in all three.  Counterpart files absent from
+the lint target set are skipped (linting a subtree stays possible); the CI
+gate lints ``src/`` whole, where all four are present.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.astutil import literal_str_elements
+from repro.analysis.base import BaseChecker, ParsedFile, Project, register
+from repro.analysis.findings import Finding
+
+#: Wire fields that can never affect a cached/batched/logged result:
+#: ``op`` routes the request, ``queries`` carries the sequences themselves
+#: (the cache keys on the sequence string directly), ``trace`` only toggles
+#: response verbosity.  Adding a field here is an explicit decision that it
+#: is result-neutral.
+NON_KEY_WIRE_FIELDS = frozenset({"op", "queries", "trace"})
+
+_PARSE_FUNCTIONS = ("_parse_search", "_handle_search")
+
+
+def _payload_get_keys(func: ast.AST) -> "list[tuple[str, int]]":
+    keys: list[tuple[str, int]] = []
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "get"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "payload"
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            keys.append((node.args[0].value, node.lineno))
+    return keys
+
+
+def _class_def(tree: ast.Module, name: str) -> ast.ClassDef | None:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def _dataclass_fields(cls: ast.ClassDef) -> set[str]:
+    return {
+        node.target.id
+        for node in cls.body
+        if isinstance(node, ast.AnnAssign)
+        and isinstance(node.target, ast.Name)
+    }
+
+
+def _method_params(cls: ast.ClassDef, method: str) -> set[str] | None:
+    for node in cls.body:
+        if isinstance(node, ast.FunctionDef) and node.name == method:
+            args = node.args
+            names = [
+                a.arg
+                for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+            ]
+            return {n for n in names if n not in ("self", "cls")}
+    return None
+
+
+@register
+class CacheKeyDrift(BaseChecker):
+    code = "REP301"
+    name = "cache-key-drift"
+    description = (
+        "every field parsed from the wire search request must appear in "
+        "BatchKey, ResultCache.key, and the request-log columns"
+    )
+    origin = "PR 6 (the mode slot was hand-threaded through all three)"
+    scope = "project"
+
+    def check(self, target: Project, config) -> Iterable[Finding]:
+        severity = config.severity_of(self.code, self.default_severity)
+        server = target.find("server/server.py")
+        if server is None:
+            return
+        wire: dict[str, int] = {}
+        for node in ast.walk(server.tree):
+            if (
+                isinstance(node, ast.FunctionDef)
+                or isinstance(node, ast.AsyncFunctionDef)
+            ) and node.name in _PARSE_FUNCTIONS:
+                for key, line in _payload_get_keys(node):
+                    wire.setdefault(key, line)
+        params = {
+            key: line
+            for key, line in wire.items()
+            if key not in NON_KEY_WIRE_FIELDS
+        }
+        if not params:
+            return
+        yield from self._check_batch_key(target, params, severity)
+        yield from self._check_cache_key(target, params, severity)
+        yield from self._check_request_log(target, params, severity)
+
+    def _check_batch_key(
+        self, project: Project, params: dict, severity: str
+    ) -> Iterable[Finding]:
+        batcher = project.find("server/batcher.py")
+        if batcher is None:
+            return
+        cls = _class_def(batcher.tree, "BatchKey")
+        if cls is None:
+            yield self.finding(
+                batcher.rel, 1, "BatchKey class not found", severity
+            )
+            return
+        fields = _dataclass_fields(cls)
+        for param in sorted(params):
+            if param not in fields:
+                yield self.finding(
+                    batcher.rel,
+                    cls.lineno,
+                    f"wire search parameter {param!r} is missing from "
+                    f"BatchKey: two requests differing only in "
+                    f"{param!r} would share one engine batch",
+                    severity,
+                )
+
+    def _check_cache_key(
+        self, project: Project, params: dict, severity: str
+    ) -> Iterable[Finding]:
+        cache = project.find("server/cache.py")
+        if cache is None:
+            return
+        cls = _class_def(cache.tree, "ResultCache")
+        key_params = None if cls is None else _method_params(cls, "key")
+        if key_params is None:
+            yield self.finding(
+                cache.rel, 1, "ResultCache.key not found", severity
+            )
+            return
+        for param in sorted(params):
+            if param not in key_params:
+                yield self.finding(
+                    cache.rel,
+                    cls.lineno,
+                    f"wire search parameter {param!r} is missing from "
+                    f"ResultCache.key: a cached answer computed under a "
+                    f"different {param!r} could be replayed",
+                    severity,
+                )
+
+    def _check_request_log(
+        self, project: Project, params: dict, severity: str
+    ) -> Iterable[Finding]:
+        reqlog = project.find("obs/reqlog.py")
+        if reqlog is None:
+            return
+        columns = None
+        line = 1
+        for node in reqlog.tree.body:
+            if isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == "REQUEST_COLUMNS"
+                for t in node.targets
+            ):
+                elements = literal_str_elements(node.value)
+                if elements is not None:
+                    columns = {name for name, _ in elements}
+                line = node.lineno
+        if columns is None:
+            yield self.finding(
+                reqlog.rel, 1, "REQUEST_COLUMNS tuple not found", severity
+            )
+            return
+        for param in sorted(params):
+            if param not in columns:
+                yield self.finding(
+                    reqlog.rel,
+                    line,
+                    f"wire search parameter {param!r} is missing from the "
+                    f"request-log columns: replay could not reconstruct "
+                    f"the traffic mix over {param!r}",
+                    severity,
+                )

@@ -1,0 +1,112 @@
+"""REP201 determinism: seedable modules must not reach for ambient entropy.
+
+Replay plans (``obs/replay.py``), workload generators (``workloads/``) and
+the synthetic-data layer (``data/synthetic.py``) document the same
+contract: *same seed, byte-identical output* — it is what lets a replay
+plan be committed and diffed, and a benchmark be reproduced on another
+machine.  One ``time.time()`` or argless ``default_rng()`` silently breaks
+that while every test still passes.
+
+Flagged inside the configured deterministic modules
+(``[tool.repro-lint] deterministic-modules``):
+
+* wall-clock reads: ``time.time()`` / ``time.time_ns()`` (monotonic
+  ``perf_counter`` stays legal — measuring how long a replay took does not
+  change what it replays);
+* ``np.random.default_rng()`` with no seed argument;
+* the stdlib ``random`` module (its global state is shared mutable
+  entropy) and numpy's legacy global generator (``np.random.seed`` /
+  ``np.random.rand`` / ...).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.astutil import dotted_name, module_path_matches
+from repro.analysis.base import BaseChecker, ParsedFile, register
+from repro.analysis.findings import Finding
+
+_WALL_CLOCK = {"time.time", "time.time_ns"}
+_LEGACY_GLOBAL_PREFIXES = ("np.random.", "numpy.random.")
+_LEGACY_GLOBAL_OK = {"default_rng", "Generator", "SeedSequence"}
+
+
+@register
+class Determinism(BaseChecker):
+    code = "REP201"
+    name = "determinism"
+    description = (
+        "deterministic modules (replay, workloads, synthetic data) must "
+        "not use wall-clock time, argless default_rng(), or the global "
+        "random state"
+    )
+    origin = "PR 7 (replay plans are committed and byte-diffed)"
+
+    def check(self, target: ParsedFile, config) -> Iterable[Finding]:
+        if not module_path_matches(target.rel, config.deterministic_modules):
+            return
+        severity = config.severity_of(self.code, self.default_severity)
+        for node in ast.walk(target.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] == "random":
+                        yield self.finding(
+                            target.rel,
+                            node.lineno,
+                            "stdlib 'random' in a deterministic module; "
+                            "take an explicit numpy Generator instead",
+                            severity,
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module and node.module.split(".")[0] == "random":
+                    yield self.finding(
+                        target.rel,
+                        node.lineno,
+                        "stdlib 'random' in a deterministic module; "
+                        "take an explicit numpy Generator instead",
+                        severity,
+                    )
+            elif isinstance(node, ast.Call):
+                yield from self._call(target, node, severity)
+
+    def _call(
+        self, target: ParsedFile, node: ast.Call, severity: str
+    ) -> Iterable[Finding]:
+        name = dotted_name(node.func)
+        if name is None:
+            return
+        if name in _WALL_CLOCK:
+            yield self.finding(
+                target.rel,
+                node.lineno,
+                f"wall-clock read {name}() in a deterministic module; "
+                f"derive timestamps from the plan/seed (or measure with "
+                f"perf_counter outside the deterministic path)",
+                severity,
+            )
+            return
+        if name.endswith("random.default_rng") and not (
+            node.args or node.keywords
+        ):
+            yield self.finding(
+                target.rel,
+                node.lineno,
+                "argless default_rng() draws an OS seed; thread the "
+                "caller's seeded Generator through instead",
+                severity,
+            )
+            return
+        for prefix in _LEGACY_GLOBAL_PREFIXES:
+            if name.startswith(prefix):
+                tail = name[len(prefix):]
+                if "." not in tail and tail not in _LEGACY_GLOBAL_OK:
+                    yield self.finding(
+                        target.rel,
+                        node.lineno,
+                        f"legacy global numpy RNG {name}(); use an "
+                        f"explicit seeded Generator",
+                        severity,
+                    )
+                return

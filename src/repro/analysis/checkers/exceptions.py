@@ -1,0 +1,63 @@
+"""REP501 exception-discipline: no unexplained swallow-all handlers.
+
+``except Exception:`` at the wrong altitude turns real bugs (an engine
+returning the wrong shape, a corrupted store) into silently degraded
+behaviour.  Some sites legitimately must catch everything — a telemetry
+writer that may never take the server down, a batch runner that must fail
+every waiting future — but those are *decisions*, and decisions get written
+down: a broad handler is legal only under a reasoned
+``# repro-lint: allow[REP501] -- why`` suppression.
+
+Flagged: ``except:``, ``except Exception``, ``except BaseException``
+(bare, aliased in a tuple, or ``as exc``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.base import BaseChecker, ParsedFile, register
+from repro.analysis.findings import Finding
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _broad_name(node: ast.AST | None) -> str | None:
+    if node is None:
+        return "bare except"
+    if isinstance(node, ast.Name) and node.id in _BROAD:
+        return f"except {node.id}"
+    if isinstance(node, ast.Tuple):
+        for element in node.elts:
+            if isinstance(element, ast.Name) and element.id in _BROAD:
+                return f"except (... {element.id} ...)"
+    return None
+
+
+@register
+class ExceptionDiscipline(BaseChecker):
+    code = "REP501"
+    name = "exception-discipline"
+    description = (
+        "broad except handlers (bare / Exception / BaseException) must be "
+        "narrowed or carry a reasoned suppression"
+    )
+    origin = "PR 7 (reqlog writer), PR 4 (server loops)"
+
+    def check(self, target: ParsedFile, config) -> Iterable[Finding]:
+        severity = config.severity_of(self.code, self.default_severity)
+        for node in ast.walk(target.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            label = _broad_name(node.type)
+            if label is None:
+                continue
+            yield self.finding(
+                target.rel,
+                node.lineno,
+                f"{label} swallows every failure; catch the specific "
+                f"exceptions or justify with "
+                f"'# repro-lint: allow[{self.code}] -- why'",
+                severity,
+            )

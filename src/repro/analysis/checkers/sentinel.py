@@ -1,0 +1,118 @@
+"""REP101 sentinel-discipline: no truthiness or magic literals on sentinels.
+
+The recurring bug: ``t_start == 0`` means "start unknown"
+(:data:`repro.align.types.START_UNKNOWN`), and because 0 is falsy, code
+keeps testing it with ``if hit.t_start:`` or comparing against the raw
+literal — which reads as "position zero" and silently breaks when the
+sentinel representation changes.  PR 3 fixed this in
+``SequenceDatabase.locate_hit``, PR 5 fixed it again in
+``ALAE.materialize``; this checker makes the third hand-fix the last one.
+
+Flagged:
+
+* truthiness tests on a sentinel-bearing attribute (``if x.t_start``,
+  ``not x.t_start``, ``x.t_start or y``, ``a if x.t_start else b``);
+* ``==``/``!=`` comparisons of a sentinel-bearing attribute or variable
+  against the magic literal ``0``.
+
+Ordering comparisons (``<``, ``>=``) and arithmetic are untouched — those
+treat the value as a position, which is exactly what named-constant
+discipline makes safe to do.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.base import BaseChecker, ParsedFile, register
+from repro.analysis.findings import Finding
+
+#: field name -> the named constant its sentinel must be spelled as.
+SENTINEL_FIELDS = {
+    "t_start": "START_UNKNOWN (repro.align.types)",
+}
+
+
+def _sentinel_attr(node: ast.AST) -> str | None:
+    if isinstance(node, ast.Attribute) and node.attr in SENTINEL_FIELDS:
+        return node.attr
+    return None
+
+
+def _sentinel_ref(node: ast.AST) -> str | None:
+    """Attribute or bare-name reference to a sentinel-bearing field."""
+    attr = _sentinel_attr(node)
+    if attr is not None:
+        return attr
+    if isinstance(node, ast.Name) and node.id in SENTINEL_FIELDS:
+        return node.id
+    return None
+
+
+def _is_zero(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Constant)
+        and node.value == 0
+        and not isinstance(node.value, bool)
+    )
+
+
+@register
+class SentinelDiscipline(BaseChecker):
+    code = "REP101"
+    name = "sentinel-discipline"
+    description = (
+        "sentinel-bearing fields (t_start) must be compared against their "
+        "named constant, never tested for truthiness or against a magic 0"
+    )
+    origin = "PR 3 (locate_hit), PR 5 (ALAE.materialize)"
+
+    def check(self, target: ParsedFile, config) -> Iterable[Finding]:
+        severity = config.severity_of(self.code, self.default_severity)
+        for node in ast.walk(target.tree):
+            if isinstance(node, ast.Compare):
+                yield from self._compare(target, node, severity)
+            elif isinstance(node, (ast.If, ast.While, ast.IfExp, ast.Assert)):
+                yield from self._truthiness(target, node.test, severity)
+            elif isinstance(node, ast.BoolOp):
+                for value in node.values:
+                    yield from self._truthiness(target, value, severity)
+            elif isinstance(node, ast.UnaryOp) and isinstance(
+                node.op, ast.Not
+            ):
+                yield from self._truthiness(target, node.operand, severity)
+
+    def _compare(
+        self, target: ParsedFile, node: ast.Compare, severity: str
+    ) -> Iterable[Finding]:
+        sides = [node.left, *node.comparators]
+        for op, (lhs, rhs) in zip(node.ops, zip(sides, sides[1:])):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            for ref, other in ((lhs, rhs), (rhs, lhs)):
+                field = _sentinel_ref(ref)
+                if field is not None and _is_zero(other):
+                    yield self.finding(
+                        target.rel,
+                        node.lineno,
+                        f"magic-literal sentinel comparison on "
+                        f"{field!r}; spell the sentinel as "
+                        f"{SENTINEL_FIELDS[field]}",
+                        severity,
+                    )
+                    break
+
+    def _truthiness(
+        self, target: ParsedFile, expr: ast.AST, severity: str
+    ) -> Iterable[Finding]:
+        field = _sentinel_attr(expr)
+        if field is not None:
+            yield self.finding(
+                target.rel,
+                expr.lineno,
+                f"truthiness test on sentinel-bearing field {field!r} "
+                f"(0 is the {SENTINEL_FIELDS[field]} sentinel, not "
+                f"false); compare explicitly",
+                severity,
+            )

@@ -1,0 +1,97 @@
+"""Lint configuration: checker severities and module scoping.
+
+Configuration lives in ``pyproject.toml`` under ``[tool.repro-lint]``::
+
+    [tool.repro-lint]
+    deterministic-modules = ["obs/replay.py", "workloads/", "data/synthetic.py"]
+    async-modules = ["repro/server/"]
+    exclude = []
+
+    [tool.repro-lint.severity]
+    REP601 = "warning"   # error (default) | warning | off
+
+Severity is the only per-repo policy knob: checkers stay code, the repo
+decides how loudly each rule fails.  Unknown codes and invalid severities
+are hard errors so a typo cannot silently disable a gate.
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.base import LintError
+from repro.analysis.findings import SEVERITIES
+
+#: Modules whose documented contract is "reproducible from a seed".
+DEFAULT_DETERMINISTIC_MODULES = (
+    "obs/replay.py",
+    "workloads/",
+    "data/synthetic.py",
+)
+
+#: Packages whose ``async def`` bodies must never block the event loop.
+DEFAULT_ASYNC_MODULES = ("repro/server/",)
+
+
+@dataclass
+class LintConfig:
+    """Resolved lint policy for one run."""
+
+    severity_overrides: dict[str, str] = field(default_factory=dict)
+    deterministic_modules: tuple[str, ...] = DEFAULT_DETERMINISTIC_MODULES
+    async_modules: tuple[str, ...] = DEFAULT_ASYNC_MODULES
+    exclude: tuple[str, ...] = ()
+    source: str | None = None  # pyproject path, for diagnostics
+
+    def severity_of(self, code: str, default: str) -> str:
+        return self.severity_overrides.get(code, default)
+
+    @classmethod
+    def from_pyproject(cls, path: str | Path) -> "LintConfig":
+        raw = tomllib.loads(Path(path).read_text(encoding="utf-8"))
+        section = raw.get("tool", {}).get("repro-lint", {})
+        overrides: dict[str, str] = {}
+        for code, severity in section.get("severity", {}).items():
+            if severity not in SEVERITIES:
+                raise LintError(
+                    f"{path}: severity for {code} must be one of "
+                    f"{', '.join(SEVERITIES)}, got {severity!r}"
+                )
+            overrides[str(code)] = severity
+        config = cls(
+            severity_overrides=overrides,
+            deterministic_modules=tuple(
+                section.get(
+                    "deterministic-modules", DEFAULT_DETERMINISTIC_MODULES
+                )
+            ),
+            async_modules=tuple(
+                section.get("async-modules", DEFAULT_ASYNC_MODULES)
+            ),
+            exclude=tuple(section.get("exclude", ())),
+            source=str(path),
+        )
+        return config
+
+
+def locate_pyproject(start: str | Path) -> Path | None:
+    """The nearest ``pyproject.toml`` at or above ``start`` (None if none)."""
+    node = Path(start).resolve()
+    if node.is_file():
+        node = node.parent
+    for candidate in (node, *node.parents):
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return pyproject
+    return None
+
+
+def load_config(paths: "list[str | Path]") -> LintConfig:
+    """Config for a lint run: nearest pyproject above the first target."""
+    for path in paths:
+        pyproject = locate_pyproject(path)
+        if pyproject is not None:
+            return LintConfig.from_pyproject(pyproject)
+    return LintConfig()

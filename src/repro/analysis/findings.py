@@ -1,0 +1,50 @@
+"""Finding records and severities for the repro lint subsystem.
+
+A :class:`Finding` is one rule violation at one source location.  Severity
+is resolved by the runner from :class:`~repro.analysis.config.LintConfig`
+(checker defaults, overridable per code in ``pyproject.toml``), so checkers
+only decide *what* is wrong, never how loudly to say it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Finding stops the build (non-zero exit).
+SEVERITY_ERROR = "error"
+#: Finding is reported but does not affect the exit code.
+SEVERITY_WARNING = "warning"
+#: Finding is dropped entirely.
+SEVERITY_OFF = "off"
+
+SEVERITIES = (SEVERITY_ERROR, SEVERITY_WARNING, SEVERITY_OFF)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation: where, which rule, how severe, and why.
+
+    ``path`` is the file as given to the runner (kept relative when the
+    lint root was relative, so output is stable across machines).  ``line``
+    is 1-based; cross-file checkers that describe a *missing* construct
+    anchor to the closest related line they have (e.g. the ``BatchKey``
+    class statement).
+    """
+
+    path: str
+    line: int
+    code: str
+    severity: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} [{self.severity}] {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+        }

@@ -1,0 +1,159 @@
+"""Lint runner: collect sources, run every registered checker, report.
+
+One invocation parses each target file exactly once, hands the parsed
+files to the per-file checkers and the whole set to the cross-file
+(drift) checkers, applies reasoned suppressions, and folds everything
+into a :class:`LintReport` with CI-ready exit semantics:
+
+* exit 0 — no error-severity findings (warnings may exist);
+* exit 1 — at least one unsuppressed error finding;
+* usage problems (no such path, bad config) raise :class:`LintError`
+  and exit 2 through the CLI's normal error path.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis import checkers as _checkers  # noqa: F401 (registers all)
+from repro.analysis.astutil import module_path_matches
+from repro.analysis.base import CHECKERS, LintError, ParsedFile, Project
+from repro.analysis.config import LintConfig, load_config
+from repro.analysis.findings import (
+    SEVERITY_ERROR,
+    SEVERITY_OFF,
+    SEVERITY_WARNING,
+    Finding,
+)
+from repro.analysis.suppressions import SUPPRESSION_CODE, scan_suppressions
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run learned."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files: int = 0
+    suppressed: int = 0
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for f in self.findings if f.severity == SEVERITY_ERROR)
+
+    @property
+    def warnings(self) -> int:
+        return sum(1 for f in self.findings if f.severity == SEVERITY_WARNING)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.errors else 0
+
+    def format_text(self) -> str:
+        lines = [finding.render() for finding in self.findings]
+        lines.append(
+            f"{self.files} file(s) checked: {self.errors} error(s), "
+            f"{self.warnings} warning(s), {self.suppressed} suppressed"
+        )
+        return "\n".join(lines)
+
+    def format_json(self) -> str:
+        return json.dumps(
+            {
+                "files": self.files,
+                "errors": self.errors,
+                "warnings": self.warnings,
+                "suppressed": self.suppressed,
+                "findings": [f.to_dict() for f in self.findings],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+
+def collect_files(
+    paths: "list[str | Path]", config: LintConfig
+) -> list[Path]:
+    """Every ``.py`` file under the targets, deterministic order."""
+    out: list[Path] = []
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            candidates = [path]
+        elif path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            raise LintError(f"lint target {path} does not exist")
+        for candidate in candidates:
+            if candidate.suffix != ".py" or candidate in seen:
+                continue
+            if module_path_matches(candidate.as_posix(), config.exclude):
+                continue
+            seen.add(candidate)
+            out.append(candidate)
+    return out
+
+
+def _parse(path: Path) -> "tuple[ParsedFile | None, Finding | None]":
+    rel = path.as_posix()
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=rel)
+    except (OSError, SyntaxError, UnicodeDecodeError) as exc:
+        return None, Finding(
+            path=rel,
+            line=getattr(exc, "lineno", None) or 1,
+            code=SUPPRESSION_CODE,
+            severity=SEVERITY_ERROR,
+            message=f"cannot parse: {exc}",
+        )
+    return ParsedFile(rel=rel, source=source, tree=tree), None
+
+
+def run_lint(
+    paths: "list[str | Path]", config: LintConfig | None = None
+) -> LintReport:
+    """Lint the targets and return the full report (nothing is printed)."""
+    if config is None:
+        config = load_config(paths)
+    report = LintReport()
+    known_codes = set(CHECKERS) | {SUPPRESSION_CODE}
+    parsed: list[ParsedFile] = []
+    raw: list[Finding] = []
+    for path in collect_files(paths, config):
+        report.files += 1
+        parsed_file, problem = _parse(path)
+        if problem is not None:
+            raw.append(problem)
+            continue
+        allowed, syntax_findings = scan_suppressions(
+            parsed_file.rel, parsed_file.source, known_codes
+        )
+        parsed_file.allowed = allowed
+        raw.extend(syntax_findings)
+        parsed.append(parsed_file)
+    by_rel = {f.rel: f for f in parsed}
+    project = Project(files=parsed)
+    for checker in CHECKERS.values():
+        if checker.scope == "project":
+            raw.extend(checker.check(project, config))
+        else:
+            for parsed_file in parsed:
+                raw.extend(checker.check(parsed_file, config))
+    for finding in raw:
+        if finding.severity == SEVERITY_OFF:
+            continue
+        holder = by_rel.get(finding.path)
+        if (
+            holder is not None
+            and finding.code != SUPPRESSION_CODE
+            and finding.code in holder.allowed.get(finding.line, ())
+        ):
+            report.suppressed += 1
+            continue
+        report.findings.append(finding)
+    report.findings.sort()
+    return report

@@ -1,0 +1,118 @@
+"""Inline suppressions: ``# repro-lint: allow[CODE] -- why``.
+
+A suppression is a *reasoned* exception, not an off switch: the reason text
+after ``--`` is mandatory, so every silenced finding documents why the rule
+does not apply at that site (the reviewer-memory problem this subsystem
+exists to solve).  A directive allows its codes on its own line and — when
+it opens a comment block — through that block down to the first code line
+below it, covering trailing-comment, comment-above, and multi-line-reason
+styles::
+
+    except Exception:  # repro-lint: allow[REP501] -- telemetry must not kill the server
+
+    # repro-lint: allow[REP101] -- comparing a *local* offset here, not
+    # the engine's start sentinel: 0 is a real window coordinate.
+    if window.t_start == 0:
+
+Malformed directives (missing reason, unknown or empty code list) are
+findings themselves (:data:`SUPPRESSION_CODE`): a broken suppression must
+fail the build, otherwise a typo would silently re-enable nothing while the
+author believes the site is covered.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+from repro.analysis.findings import SEVERITY_ERROR, Finding
+
+#: Code for suppression-syntax violations (reserved; not a registered
+#: checker — the scanner runs before any checker does).
+SUPPRESSION_CODE = "REP000"
+
+_DIRECTIVE = re.compile(r"#\s*repro-lint:\s*(?P<body>.*)$")
+_ALLOW = re.compile(
+    r"^allow\[(?P<codes>[^\]]*)\]\s*(?:--\s*(?P<reason>.*))?$"
+)
+
+
+def scan_suppressions(
+    rel: str, source: str, known_codes: "set[str]"
+) -> tuple[dict[int, set[str]], list[Finding]]:
+    """Extract per-line allowed codes and syntax findings from one file.
+
+    Returns ``(allowed, findings)`` where ``allowed[line]`` is the set of
+    codes suppressed on that 1-based line.
+    """
+    allowed: dict[int, set[str]] = {}
+    findings: list[Finding] = []
+    lines = source.splitlines()
+
+    def comment_only(line: int) -> bool:
+        return (
+            0 < line <= len(lines) and lines[line - 1].lstrip().startswith("#")
+        )
+
+    def bad(line: int, message: str) -> None:
+        findings.append(
+            Finding(
+                path=rel,
+                line=line,
+                code=SUPPRESSION_CODE,
+                severity=SEVERITY_ERROR,
+                message=message,
+            )
+        )
+
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (token.start[0], token.string)
+            for token in tokens
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError):
+        return allowed, findings  # unparseable files fail elsewhere
+    for line, text in comments:
+        match = _DIRECTIVE.search(text)
+        if match is None:
+            continue
+        body = match.group("body").strip()
+        allow = _ALLOW.match(body)
+        if allow is None:
+            bad(
+                line,
+                f"malformed repro-lint directive {body!r}; expected "
+                f"'allow[CODE] -- reason'",
+            )
+            continue
+        codes = [c.strip() for c in allow.group("codes").split(",") if c.strip()]
+        reason = (allow.group("reason") or "").strip()
+        if not codes:
+            bad(line, "suppression lists no codes: allow[] is empty")
+            continue
+        unknown = [c for c in codes if c not in known_codes]
+        if unknown:
+            bad(
+                line,
+                f"suppression names unknown code(s) "
+                f"{', '.join(sorted(unknown))}",
+            )
+            continue
+        if not reason:
+            bad(
+                line,
+                f"suppression of {', '.join(codes)} carries no reason; "
+                f"write 'allow[{codes[0]}] -- why this site is safe'",
+            )
+            continue
+        # Cover the directive's own line, any comment block continuing it,
+        # and the first code line below — so a long reason can wrap.
+        probe = line + 1
+        while comment_only(probe):
+            probe += 1
+        for target in range(line, probe + 1):
+            allowed.setdefault(target, set()).update(codes)
+    return allowed, findings

@@ -48,6 +48,7 @@ import numpy as np
 
 from repro import DNA, PROTEIN, ScoringScheme, genome, write_fasta
 from repro.align.types import SearchStats
+from repro.analysis import CHECKERS, run_lint
 from repro.core.analysis import entry_bound
 from repro.engine import DEFAULT_WORD_SIZE, MODE_ENGINE_NAMES, MODES
 from repro.errors import ReproError, ScoringError
@@ -714,6 +715,20 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    if args.list_checkers:
+        print("# code\tname\tscope\torigin")
+        for code, checker in sorted(CHECKERS.items()):
+            print(f"{code}\t{checker.name}\t{checker.scope}\t{checker.origin}")
+        return 0
+    report = run_lint(args.paths)
+    if args.format == "json":
+        print(report.format_json())
+    else:
+        print(report.format_text())
+    return report.exit_code
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
     sigma = ALPHABETS[args.alphabet].size
     print(f"# Section 6 entry bounds, sigma = {sigma}")
@@ -721,7 +736,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     for scheme in blast_scheme_grid():
         try:
             bound = entry_bound(scheme, sigma)
-        except Exception:  # degenerate for this sigma
+        except ScoringError:  # degenerate for this sigma
             continue
         print(
             f"{scheme}\t{scheme.q}\t{bound.coefficient:.3f}\t"
@@ -1077,6 +1092,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="stop after constructing (and optionally writing) the plan",
     )
     bench.set_defaults(func=cmd_bench)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the repo's AST invariant checkers (the repro-lint gate)",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="finding output format (json is the CI gate's artifact)",
+    )
+    lint.add_argument(
+        "--list-checkers", action="store_true",
+        help="print the invariant catalog (code, name, scope, origin) "
+        "and exit",
+    )
+    lint.set_defaults(func=cmd_lint)
 
     analyze = sub.add_parser("analyze", help="print Section 6 bounds")
     analyze.add_argument("--alphabet", choices=ALPHABETS, default="dna")

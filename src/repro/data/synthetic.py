@@ -14,7 +14,10 @@ sequences that exercise the same engine behaviour:
 * :func:`mutate` — the mutation model itself (substitution + indel rates).
 
 All functions take an explicit ``numpy.random.Generator`` so every experiment
-is reproducible from a seed.
+is reproducible from a seed; when the caller passes none, the fallback is a
+*fixed-seed* generator (never OS entropy), so even "just give me a sequence"
+calls are reproducible — seedability is this module's contract, enforced by
+the REP201 determinism checker.
 """
 
 from __future__ import annotations
@@ -24,10 +27,18 @@ import numpy as np
 from repro.alphabet import DNA, Alphabet
 from repro.errors import ReproError
 
+#: Seed of the fallback generator used when a caller passes ``rng=None``.
+DEFAULT_SEED = 0
+
+
+def _default_rng(rng):
+    """The caller's generator, or the fixed-seed fallback (never OS entropy)."""
+    return rng if rng is not None else np.random.default_rng(DEFAULT_SEED)
+
 
 def random_sequence(length: int, alphabet: Alphabet = DNA, rng=None) -> str:
     """Uniform random sequence over ``alphabet``."""
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = _default_rng(rng)
     return alphabet.random_sequence(length, rng)
 
 
@@ -76,7 +87,7 @@ def genome(
     """
     if length <= 0:
         raise ReproError(f"length must be positive, got {length}")
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = _default_rng(rng)
     base = list(alphabet.random_sequence(length, rng))
 
     # Segmental duplications: copy an earlier window onto a later one.
@@ -148,7 +159,7 @@ def sample_homologous_queries(
         raise ReproError(
             f"query length {length} exceeds text length {len(text)}"
         )
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = _default_rng(rng)
     queries = []
     seg = min(segment_length, max(20, length // 2))
     n_segments = max(1, round(length * planted_fraction / seg))

@@ -28,6 +28,8 @@ __all__ = [
     "MODES",
     "MODE_ENGINE_NAMES",
     "MODE_ORDERINGS",
+    "BLAST_KEYS",
+    "VERIFIED_KEYS",
     "check_mode",
     "split_engine_kwargs",
     "backend_from_text",

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Sequence
 
-from repro.align.types import Hit
+from repro.align.types import START_UNKNOWN, Hit
 from repro.errors import ReproError
 from repro.io.fasta import FastaRecord, parse_fasta_file
 
@@ -24,8 +24,8 @@ from repro.io.fasta import FastaRecord, parse_fasta_file
 class LocatedHit:
     """A hit attributed to one database sequence (local 1-based positions).
 
-    ``t_start == 0`` means the start is unknown (the producing engine did not
-    track it); every known start is >= 1.  ``record_index`` is the position of
+    ``t_start == START_UNKNOWN`` means the start is unknown (the producing
+    engine did not track it); every known start is >= 1.  ``record_index`` is the position of
     the sequence within its database, so hits stay attributable even when
     identifiers repeat — and shard merges can map them back to the original
     record order.
@@ -157,7 +157,7 @@ class SequenceDatabase:
 
         Returns ``None`` for hits spanning a concatenation boundary (their
         alignment mixes two database sequences and should be discarded), and
-        for *start-unknown* hits (``t_start == 0``, the sentinel left by
+        for *start-unknown* hits (``t_start == START_UNKNOWN``, the sentinel left by
         engines that do not track starts) that cannot be proven to lie within
         one record: such a hit ends in record ``r`` but may have started in
         ``r - 1``, so attributing it by its end record alone could silently
@@ -167,11 +167,11 @@ class SequenceDatabase:
         service layer's windowed recheck — resolve the rest.
         """
         idx_end = self.sequence_at(hit.t_end)
-        if hit.t_start == 0:  # sentinel: start not tracked by the engine
+        if hit.t_start == START_UNKNOWN:  # start not tracked by the engine
             if idx_end != 0:
                 return None
             offset = 0
-            start = 0  # still unknown in local coordinates
+            start = START_UNKNOWN  # still unknown in local coordinates
         else:
             if self.sequence_at(hit.t_start) != idx_end:
                 return None

@@ -192,7 +192,10 @@ class MicroBatcher:
             queries = [item.query for item in batch]
             try:
                 results = await self._runner(queries, batch[0].key)
-            except Exception as exc:  # engine/service error: fail the batch
+            # repro-lint: allow[REP501] -- whatever the engine/service threw
+            # must fail every waiting future; a narrowed catch would leave
+            # clients of this batch hanging forever on an unforeseen error.
+            except Exception as exc:
                 for item in batch:
                     if not item.future.done():
                         item.future.set_exception(exc)

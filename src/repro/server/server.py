@@ -337,9 +337,11 @@ class SearchServer:
             await asyncio.sleep(self.reload_poll)
             try:
                 await self.maybe_reload()
+            # repro-lint: allow[REP501] -- the poll loop must survive any
+            # failure shape: a half-written index (mid-rebuild) can raise
+            # store, OS or decode errors; keep serving the old index and
+            # try again next tick.
             except Exception:
-                # A half-written index (mid-rebuild) fails to open; keep
-                # serving the old one and try again next tick.
                 logger.debug(
                     "reload poll failed (index mid-rebuild?)", exc_info=True
                 )
@@ -395,7 +397,10 @@ class SearchServer:
             responses.put_nowait(None)
             try:
                 await writer_task  # flush responses already in flight
-            except BaseException:  # re-cancelled during shutdown
+            # repro-lint: allow[REP501] -- shutdown may re-cancel this task
+            # while it awaits the writer (CancelledError is a BaseException);
+            # the writer task must still be cancelled before the socket closes.
+            except BaseException:
                 writer_task.cancel()
             self._drain_responses(responses)
             writer.close()
@@ -446,7 +451,10 @@ class SearchServer:
                 payload = await entry
             except asyncio.CancelledError:
                 return
-            except Exception as exc:  # handler bug: report, keep serving
+            # repro-lint: allow[REP501] -- a handler bug must be reported to
+            # the waiting client as an error frame, not kill the writer loop
+            # (which would strand every other pipelined response).
+            except Exception as exc:
                 payload = {"status": "error", "error": str(exc)}
             finally:
                 inflight.release()
@@ -793,7 +801,10 @@ class ServerThread:
         self._loop = loop
         try:
             loop.run_until_complete(self.server.start())
-        except BaseException as exc:  # surface the failure to start()
+        # repro-lint: allow[REP501] -- any startup failure (including
+        # KeyboardInterrupt/SystemExit) must cross the thread boundary to
+        # start(), which re-raises it on the caller's thread.
+        except BaseException as exc:
             self._startup_error = exc
             self._ready.set()
             loop.close()

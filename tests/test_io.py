@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.align.types import Hit
+from repro.align.types import START_UNKNOWN, Hit
 from repro.errors import ReproError
 from repro.io.database import SequenceDatabase, ShardPlan
 from repro.io.fasta import (
@@ -192,6 +192,23 @@ class TestBoundaryAttribution:
         # alignment may have started in the previous record.
         assert db.locate_hit(Hit(t_end=6, p_end=4, score=4, t_start=0)) is None
         assert db.locate_hit(Hit(t_end=11, p_end=4, score=4, t_start=0)) is None
+
+    def test_sentinel_constant_is_the_attribution_switch(self):
+        # Pins the ISSUE 8 fix: locate_hit branches on the *named* sentinel,
+        # so a hit carrying exactly START_UNKNOWN takes the conservative
+        # first-record-only path, while the same end position with a known
+        # start attributes normally.
+        db = self._db()
+        unknown = Hit(t_end=6, p_end=4, score=4, t_start=START_UNKNOWN)
+        assert db.locate_hit(unknown) is None
+        known = Hit(t_end=6, p_end=4, score=4, t_start=5)
+        located = db.locate_hit(known)
+        assert located.sequence_id == "s2"
+        assert (located.t_start, located.t_end) == (1, 2)
+        first = Hit(t_end=3, p_end=3, score=3, t_start=START_UNKNOWN)
+        attributed = db.locate_hit(first)
+        assert attributed.sequence_id == "s1"
+        assert attributed.t_start == START_UNKNOWN
 
     def test_start_unknown_single_record_database(self):
         db = SequenceDatabase([FastaRecord("solo", "ACGTACGT")])

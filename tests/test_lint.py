@@ -1,0 +1,620 @@
+"""repro-lint: checkers, suppressions, config, runner, CLI, and self-run.
+
+Every checker gets a good/bad fixture pair plus a reasoned-suppression
+fixture; the drift checker gets a synthetic project tree *and* a mutated
+copy of the real server sources; and the suite ends by running the tool
+over ``src/`` itself — the same gate CI enforces.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    CHECKERS,
+    Checker,
+    LintConfig,
+    LintError,
+    SUPPRESSION_CODE,
+    run_lint,
+)
+from repro.analysis.suppressions import scan_suppressions
+from repro.cli import main
+
+REPO = Path(__file__).resolve().parents[1]
+SRC = REPO / "src"
+
+EXPECTED_CODES = {"REP101", "REP201", "REP301", "REP401", "REP501", "REP601"}
+
+
+def lint_file(tmp_path, rel, source, config=None):
+    """Write one fixture file at ``tmp_path/rel`` and lint it."""
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return run_lint([path], config=config or LintConfig())
+
+
+def codes(report):
+    return [f.code for f in report.findings]
+
+
+class TestRegistry:
+    def test_all_expected_checkers_registered(self):
+        assert EXPECTED_CODES <= set(CHECKERS)
+
+    def test_checkers_satisfy_protocol(self):
+        for code, checker in CHECKERS.items():
+            assert isinstance(checker, Checker)
+            assert checker.code == code
+            assert checker.name and checker.description and checker.origin
+            assert checker.scope in ("file", "project")
+
+    def test_suppression_code_reserved_not_registered(self):
+        assert SUPPRESSION_CODE == "REP000"
+        assert SUPPRESSION_CODE not in CHECKERS
+
+
+class TestSuppressionSyntax:
+    def scan(self, source):
+        return scan_suppressions(
+            "x.py", source, known_codes=set(CHECKERS) | {SUPPRESSION_CODE}
+        )
+
+    def test_missing_reason_is_a_finding(self, tmp_path):
+        report = lint_file(
+            tmp_path,
+            "x.py",
+            "try:\n    pass\nexcept Exception:  # repro-lint: allow[REP501]\n"
+            "    pass\n",
+        )
+        assert SUPPRESSION_CODE in codes(report)
+        assert "no reason" in report.findings[0].message
+        # The broken directive suppresses nothing: REP501 still fires.
+        assert "REP501" in codes(report)
+        assert report.exit_code == 1
+
+    def test_unknown_code_is_a_finding(self):
+        _, findings = self.scan("# repro-lint: allow[REP999] -- because\n")
+        assert [f.code for f in findings] == [SUPPRESSION_CODE]
+        assert "unknown code" in findings[0].message
+
+    def test_empty_code_list_is_a_finding(self):
+        _, findings = self.scan("# repro-lint: allow[] -- because\n")
+        assert "no codes" in findings[0].message
+
+    def test_malformed_directive_is_a_finding(self):
+        _, findings = self.scan("# repro-lint: REP501 please\n")
+        assert "malformed" in findings[0].message
+
+    def test_trailing_directive_covers_its_line(self):
+        allowed, findings = self.scan(
+            "x = 1  # repro-lint: allow[REP501] -- why not\n"
+        )
+        assert findings == []
+        assert allowed[1] == {"REP501"}
+
+    def test_comment_above_covers_next_code_line(self):
+        allowed, _ = self.scan(
+            "# repro-lint: allow[REP101] -- local offset, not the sentinel\n"
+            "if t_start == 0:\n"
+            "    pass\n"
+        )
+        assert "REP101" in allowed[2]
+
+    def test_multi_line_reason_chains_to_first_code_line(self):
+        allowed, _ = self.scan(
+            "# repro-lint: allow[REP501] -- a reason so long that\n"
+            "# it wraps over two further comment lines before the\n"
+            "# handler itself appears.\n"
+            "except_line_stand_in = 1\n"
+        )
+        for line in (1, 2, 3, 4):
+            assert "REP501" in allowed[line]
+
+    def test_suppression_findings_are_not_suppressible(self, tmp_path):
+        # A directive cannot allow REP000 over a broken directive below it.
+        report = lint_file(
+            tmp_path,
+            "x.py",
+            "# repro-lint: allow[REP000] -- trying to silence the scanner\n"
+            "# repro-lint: allow[]\n"
+            "x = 1\n",
+        )
+        assert SUPPRESSION_CODE in codes(report)
+        assert report.exit_code == 1
+
+
+class TestSentinelDiscipline:
+    def test_truthiness_on_t_start_flagged(self, tmp_path):
+        report = lint_file(
+            tmp_path, "x.py", "if hit.t_start:\n    pass\n"
+        )
+        assert codes(report) == ["REP101"]
+        assert "truthiness" in report.findings[0].message
+
+    def test_magic_zero_compare_flagged(self, tmp_path):
+        for src in (
+            "ok = hit.t_start == 0\n",
+            "ok = 0 != hit.t_start\n",
+            "ok = t_start == 0\n",
+        ):
+            report = lint_file(tmp_path, "x.py", src)
+            assert codes(report) == ["REP101"], src
+
+    def test_named_constant_and_ordering_are_fine(self, tmp_path):
+        report = lint_file(
+            tmp_path,
+            "x.py",
+            "from repro.align.types import START_UNKNOWN\n"
+            "def f(hit):\n"
+            "    if hit.t_start == START_UNKNOWN:\n"
+            "        return None\n"
+            "    return hit.t_start >= 1 and hit.t_start - 1\n",
+        )
+        assert codes(report) == []
+
+    def test_reasoned_suppression_silences(self, tmp_path):
+        report = lint_file(
+            tmp_path,
+            "x.py",
+            "ok = window.t_start == 0  "
+            "# repro-lint: allow[REP101] -- window-local offset, not the "
+            "engine sentinel\n",
+        )
+        assert codes(report) == []
+        assert report.suppressed == 1
+
+
+class TestDeterminism:
+    REL = "workloads/gen.py"  # inside the default deterministic scope
+
+    def test_entropy_sources_flagged(self, tmp_path):
+        report = lint_file(
+            tmp_path,
+            self.REL,
+            "import time\n"
+            "import random\n"
+            "import numpy as np\n"
+            "from random import choice\n"
+            "now = time.time()\n"
+            "rng = np.random.default_rng()\n"
+            "legacy = np.random.rand(3)\n",
+        )
+        assert codes(report) == ["REP201"] * 5
+        messages = " ".join(f.message for f in report.findings)
+        assert "wall-clock" in messages
+        assert "argless default_rng" in messages
+        assert "legacy global" in messages
+
+    def test_seeded_rng_and_perf_counter_are_fine(self, tmp_path):
+        report = lint_file(
+            tmp_path,
+            self.REL,
+            "import numpy as np\n"
+            "from time import perf_counter\n"
+            "rng = np.random.default_rng(7)\n"
+            "t0 = perf_counter()\n",
+        )
+        assert codes(report) == []
+
+    def test_out_of_scope_module_untouched(self, tmp_path):
+        report = lint_file(
+            tmp_path, "tools/bench.py", "import time\nnow = time.time()\n"
+        )
+        assert codes(report) == []
+
+    def test_reasoned_suppression_silences(self, tmp_path):
+        report = lint_file(
+            tmp_path,
+            self.REL,
+            "import time\n"
+            "# repro-lint: allow[REP201] -- run-stamp only; never feeds the\n"
+            "# generated workload itself.\n"
+            "stamp = time.time()\n",
+        )
+        assert codes(report) == []
+        assert report.suppressed == 1
+
+
+class TestAsyncBlocking:
+    REL = "repro/server/handler.py"  # inside the default async scope
+
+    def test_blocking_calls_flagged(self, tmp_path):
+        report = lint_file(
+            tmp_path,
+            self.REL,
+            "import sqlite3\n"
+            "import time\n"
+            "async def handle(path, lock):\n"
+            "    time.sleep(0.1)\n"
+            "    conn = sqlite3.connect(path)\n"
+            "    data = open(path).read()\n"
+            "    text = path.read_text()\n"
+            "    lock.acquire()\n"
+            "    return conn, data, text\n",
+        )
+        assert codes(report) == ["REP401"] * 5
+
+    def test_awaited_and_offloaded_forms_are_fine(self, tmp_path):
+        report = lint_file(
+            tmp_path,
+            self.REL,
+            "import asyncio\n"
+            "async def handle(path, lock):\n"
+            "    await asyncio.sleep(0.1)\n"
+            "    await lock.acquire()\n"
+            "    def blocking():  # runs on an executor thread\n"
+            "        return open(path).read()\n"
+            "    loop = asyncio.get_running_loop()\n"
+            "    return await loop.run_in_executor(None, blocking)\n",
+        )
+        assert codes(report) == []
+
+    def test_sync_def_and_out_of_scope_untouched(self, tmp_path):
+        source = "import time\ndef handle():\n    time.sleep(0.1)\n"
+        assert codes(lint_file(tmp_path, self.REL, source)) == []
+        async_src = "import time\nasync def f():\n    time.sleep(1)\n"
+        assert codes(lint_file(tmp_path, "repro/obs/x.py", async_src)) == []
+
+    def test_reasoned_suppression_silences(self, tmp_path):
+        report = lint_file(
+            tmp_path,
+            self.REL,
+            "import time\n"
+            "async def handle():\n"
+            "    time.sleep(0)  # repro-lint: allow[REP401] -- zero-sleep "
+            "yield shim for a legacy test\n",
+        )
+        assert codes(report) == []
+        assert report.suppressed == 1
+
+
+class TestExceptionDiscipline:
+    def test_broad_handlers_flagged(self, tmp_path):
+        report = lint_file(
+            tmp_path,
+            "x.py",
+            "try:\n    pass\nexcept:\n    pass\n"
+            "try:\n    pass\nexcept Exception:\n    pass\n"
+            "try:\n    pass\nexcept BaseException as exc:\n    raise exc\n"
+            "try:\n    pass\nexcept (ValueError, Exception):\n    pass\n",
+        )
+        assert codes(report) == ["REP501"] * 4
+
+    def test_narrow_handlers_are_fine(self, tmp_path):
+        report = lint_file(
+            tmp_path,
+            "x.py",
+            "try:\n    pass\nexcept (ValueError, KeyError):\n    pass\n",
+        )
+        assert codes(report) == []
+
+    def test_reasoned_suppression_silences(self, tmp_path):
+        report = lint_file(
+            tmp_path,
+            "x.py",
+            "try:\n"
+            "    pass\n"
+            "# repro-lint: allow[REP501] -- demo: this handler must fail\n"
+            "# every waiting future whatever the runner threw.\n"
+            "except Exception:\n"
+            "    pass\n",
+        )
+        assert codes(report) == []
+        assert report.suppressed == 1
+
+
+class TestExportConsistency:
+    def test_phantom_export_flagged(self, tmp_path):
+        report = lint_file(
+            tmp_path, "m.py", '__all__ = ["ghost"]\n'
+        )
+        assert codes(report) == ["REP601"]
+        assert "neither defines nor imports" in report.findings[0].message
+
+    def test_duplicate_entry_flagged(self, tmp_path):
+        report = lint_file(
+            tmp_path, "m.py", '__all__ = ["f", "f"]\n\ndef f():\n    pass\n'
+        )
+        assert any("duplicate" in f.message for f in report.findings)
+
+    def test_unsanctioned_reexport_flagged(self, tmp_path):
+        report = lint_file(
+            tmp_path,
+            "m.py",
+            'from os.path import join\n\n__all__ = ["join"]\n',
+        )
+        assert codes(report) == ["REP601"]
+        assert "re-export" in report.findings[0].message
+
+    def test_sanctioned_reexport_allowed(self, tmp_path):
+        report = lint_file(
+            tmp_path,
+            "align/bwt_sw.py",
+            "from repro.scoring.evalue import resolve_threshold\n\n"
+            '__all__ = ["resolve_threshold"]\n',
+        )
+        assert codes(report) == []
+
+    def test_init_is_a_facade(self, tmp_path):
+        report = lint_file(
+            tmp_path,
+            "pkg/__init__.py",
+            "from pkg.mod import thing\n\n"
+            '__all__ = ["thing"]\n',
+        )
+        assert codes(report) == []
+
+    def test_public_def_missing_from_all_flagged(self, tmp_path):
+        report = lint_file(
+            tmp_path,
+            "m.py",
+            '__all__ = ["f"]\n\ndef f():\n    pass\n\ndef g():\n    pass\n',
+        )
+        assert codes(report) == ["REP601"]
+        assert "'g'" in report.findings[0].message
+
+    def test_module_without_all_is_skipped(self, tmp_path):
+        report = lint_file(tmp_path, "m.py", "def f():\n    pass\n")
+        assert codes(report) == []
+
+    def test_non_literal_all_flagged(self, tmp_path):
+        report = lint_file(
+            tmp_path, "m.py", '__all__ = ["a"] + extra\nextra = []\n'
+        )
+        assert codes(report) == ["REP601"]
+        assert "not a literal" in report.findings[0].message
+
+    def test_reasoned_suppression_silences(self, tmp_path):
+        report = lint_file(
+            tmp_path,
+            "m.py",
+            "from os.path import join\n\n"
+            '__all__ = ["join"]  # repro-lint: allow[REP601] -- fixture '
+            "facade for this test\n",
+        )
+        assert codes(report) == []
+        assert report.suppressed == 1
+
+
+def drift_tree(tmp_path, *, batch_fields, cache_params, columns, wire):
+    """A minimal project exhibiting the four cache-key surfaces."""
+    root = tmp_path / "proj"
+    gets = "\n".join(
+        f'        {name} = payload.get("{name}")' for name in wire
+    )
+    (root / "server").mkdir(parents=True)
+    (root / "server" / "server.py").write_text(
+        "class SearchServer:\n"
+        "    def _parse_search(self, payload):\n"
+        f"{gets}\n"
+        f"        return [{', '.join(wire)}]\n"
+    )
+    fields = "\n".join(f"    {name}: int" for name in batch_fields)
+    (root / "server" / "batcher.py").write_text(
+        "from dataclasses import dataclass\n\n\n"
+        "@dataclass(frozen=True)\n"
+        "class BatchKey:\n"
+        f"{fields}\n"
+    )
+    params = ", ".join(cache_params)
+    (root / "server" / "cache.py").write_text(
+        "class ResultCache:\n"
+        f"    def key(self, sequence, {params}):\n"
+        f"        return (sequence, {params})\n"
+    )
+    (root / "obs").mkdir()
+    cols = ", ".join(f'"{c}"' for c in columns)
+    (root / "obs" / "reqlog.py").write_text(
+        f"REQUEST_COLUMNS = ({cols},)\n"
+    )
+    return root
+
+
+class TestCacheKeyDrift:
+    def test_aligned_tree_is_clean(self, tmp_path):
+        root = drift_tree(
+            tmp_path,
+            wire=["op", "queries", "threshold"],
+            batch_fields=["threshold"],
+            cache_params=["threshold"],
+            columns=["ts", "threshold"],
+        )
+        report = run_lint([root], config=LintConfig())
+        assert codes(report) == []
+
+    def test_new_wire_param_must_reach_all_three_keys(self, tmp_path):
+        # 'salt' is parsed from the wire but threaded nowhere: one finding
+        # per key surface it is missing from.
+        root = drift_tree(
+            tmp_path,
+            wire=["op", "threshold", "salt"],
+            batch_fields=["threshold"],
+            cache_params=["threshold"],
+            columns=["ts", "threshold"],
+        )
+        report = run_lint([root], config=LintConfig())
+        assert codes(report) == ["REP301"] * 3
+        paths = {f.path for f in report.findings}
+        assert {p.rsplit("/", 1)[-1] for p in paths} == {
+            "batcher.py", "cache.py", "reqlog.py",
+        }
+        assert all("'salt'" in f.message for f in report.findings)
+
+    def test_result_neutral_fields_exempt(self, tmp_path):
+        root = drift_tree(
+            tmp_path,
+            wire=["op", "queries", "trace", "threshold"],
+            batch_fields=["threshold"],
+            cache_params=["threshold"],
+            columns=["ts", "threshold"],
+        )
+        report = run_lint([root], config=LintConfig())
+        assert codes(report) == []
+
+    def test_missing_counterparts_skipped(self, tmp_path):
+        # Linting server.py alone (a subtree run) cannot prove drift.
+        root = drift_tree(
+            tmp_path,
+            wire=["threshold", "salt"],
+            batch_fields=["threshold"],
+            cache_params=["threshold"],
+            columns=["ts"],
+        )
+        report = run_lint([root / "server" / "server.py"])
+        assert codes(report) == []
+
+    def test_real_server_sources_catch_injected_param(self, tmp_path):
+        """Adding a wire param to the *real* protocol without threading it
+        through BatchKey/cache/log must fail lint (the ISSUE 8 gate)."""
+        root = tmp_path / "repro"
+        for rel in (
+            "server/server.py",
+            "server/batcher.py",
+            "server/cache.py",
+            "obs/reqlog.py",
+        ):
+            dst = root / rel
+            dst.parent.mkdir(parents=True, exist_ok=True)
+            dst.write_text((SRC / "repro" / rel).read_text())
+        server = root / "server" / "server.py"
+        source = server.read_text()
+        needle = 'payload.get("mode")'
+        assert needle in source
+        server.write_text(
+            source.replace(
+                needle, 'payload.get("mode"), payload.get("salt")', 1
+            ).replace("mode = payload", "mode, _salt = payload", 1)
+        )
+        report = run_lint([root], config=LintConfig())
+        drift = [f for f in report.findings if f.code == "REP301"]
+        assert len(drift) == 3
+        assert all("'salt'" in f.message for f in drift)
+        # The unmodified copies stay clean otherwise.
+        others = [f for f in report.findings if f.code != "REP301"]
+        assert others == []
+
+
+class TestConfig:
+    def test_severity_downgrade_to_warning(self, tmp_path):
+        config = LintConfig(severity_overrides={"REP501": "warning"})
+        report = lint_file(
+            tmp_path,
+            "x.py",
+            "try:\n    pass\nexcept Exception:\n    pass\n",
+            config=config,
+        )
+        assert report.errors == 0
+        assert report.warnings == 1
+        assert report.exit_code == 0
+
+    def test_severity_off_drops_findings(self, tmp_path):
+        config = LintConfig(severity_overrides={"REP501": "off"})
+        report = lint_file(
+            tmp_path,
+            "x.py",
+            "try:\n    pass\nexcept Exception:\n    pass\n",
+            config=config,
+        )
+        assert report.findings == []
+
+    def test_from_pyproject_roundtrip(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(
+            "[tool.repro-lint]\n"
+            'deterministic-modules = ["gen/"]\n'
+            'exclude = ["vendored/"]\n'
+            "[tool.repro-lint.severity]\n"
+            'REP601 = "warning"\n'
+        )
+        config = LintConfig.from_pyproject(pyproject)
+        assert config.deterministic_modules == ("gen/",)
+        assert config.exclude == ("vendored/",)
+        assert config.severity_of("REP601", "error") == "warning"
+        assert config.severity_of("REP101", "error") == "error"
+
+    def test_invalid_severity_is_a_hard_error(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(
+            '[tool.repro-lint.severity]\nREP601 = "silent"\n'
+        )
+        with pytest.raises(LintError, match="severity"):
+            LintConfig.from_pyproject(pyproject)
+
+    def test_exclude_patterns_skip_files(self, tmp_path):
+        config = LintConfig(exclude=("vendored/",))
+        (tmp_path / "vendored").mkdir()
+        (tmp_path / "vendored" / "x.py").write_text(
+            "try:\n    pass\nexcept:\n    pass\n"
+        )
+        report = run_lint([tmp_path], config=config)
+        assert report.files == 0
+        assert report.findings == []
+
+
+class TestRunner:
+    def test_missing_target_raises(self):
+        with pytest.raises(LintError, match="does not exist"):
+            run_lint(["no/such/path"], config=LintConfig())
+
+    def test_syntax_error_is_a_finding(self, tmp_path):
+        report = lint_file(tmp_path, "x.py", "def broken(:\n")
+        assert codes(report) == [SUPPRESSION_CODE]
+        assert "cannot parse" in report.findings[0].message
+        assert report.exit_code == 1
+
+    def test_findings_sorted_and_rendered(self, tmp_path):
+        report = lint_file(
+            tmp_path,
+            "x.py",
+            "try:\n    pass\nexcept:\n    pass\n"
+            "flag = hit.t_start == 0\n",
+        )
+        assert codes(report) == ["REP501", "REP101"]  # by line
+        text = report.format_text()
+        assert "REP501" in text and "1 file(s) checked" in text
+        payload = json.loads(report.format_json())
+        assert payload["errors"] == 2
+        assert {f["code"] for f in payload["findings"]} == {
+            "REP101", "REP501",
+        }
+
+
+class TestSelfRunAndCli:
+    def test_src_tree_is_lint_clean(self):
+        """The gate this PR ships under: the repo lints its own sources."""
+        report = run_lint([SRC])
+        assert report.files > 50
+        assert [f.render() for f in report.findings] == []
+        assert report.exit_code == 0
+        # The justified broad excepts are suppressed, not invisible.
+        assert report.suppressed >= 6
+
+    def test_cli_lint_src_json(self, capsys):
+        code = main(["lint", str(SRC), "--format", "json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["errors"] == 0
+        assert payload["findings"] == []
+
+    def test_cli_lint_reports_failures(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("flag = hit.t_start == 0\n")
+        code = main(["lint", str(bad)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "REP101" in out
+
+    def test_cli_list_checkers(self, capsys):
+        code = main(["lint", "--list-checkers"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for expected in sorted(EXPECTED_CODES):
+            assert expected in out
+
+    def test_cli_missing_path_exits_2(self, capsys):
+        code = main(["lint", "definitely/not/a/path"])
+        assert code == 2
