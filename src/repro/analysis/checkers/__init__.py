@@ -11,6 +11,7 @@ from repro.analysis.checkers import (  # noqa: F401  (import-for-registration)
     determinism,
     exceptions,
     exports,
+    metrics_registration,
     sentinel,
 )
 
@@ -20,5 +21,6 @@ __all__ = [
     "determinism",
     "exceptions",
     "exports",
+    "metrics_registration",
     "sentinel",
 ]

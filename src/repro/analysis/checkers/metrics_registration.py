@@ -1,0 +1,120 @@
+"""REP701 metrics registration: metric families are import-time objects.
+
+The metrics registry (``obs/metrics.py``) is process-wide and its
+constructors register on it: a ``Counter``/``Gauge``/``Histogram`` built
+inside a function body re-registers on every call (racing the duplicate
+check), re-resolves its label children, and hides the family from scrapes
+until the first request happens to run.  The contract every instrumented
+module follows — and the one this rule enforces — is *define families at
+module import, resolve label children near the hot path, only mutate per
+request*.
+
+Constructions that pass an explicit ``registry=`` keyword are exempt: a
+private registry (or ``registry=None`` for an unregistered scratch metric)
+is the caller's own to manage, which is exactly how tests and helpers
+build throwaway metrics inside functions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.astutil import dotted_name
+from repro.analysis.base import BaseChecker, ParsedFile, register
+from repro.analysis.findings import Finding
+
+_CONSTRUCTORS = {"Counter", "Gauge", "Histogram"}
+_METRICS_MODULE = "repro.obs.metrics"
+
+
+@register
+class MetricsRegistration(BaseChecker):
+    code = "REP701"
+    name = "metrics-registration"
+    description = (
+        "metric families must be created at module import, not inside "
+        "functions (per-call construction races registration and leaks "
+        "label series); pass registry= explicitly for scratch metrics"
+    )
+    origin = "PR 9 (process-wide metrics registry)"
+
+    def check(self, target: ParsedFile, config) -> Iterable[Finding]:
+        if target.rel.replace("\\", "/").endswith("obs/metrics.py"):
+            return  # the registry defines the primitives; nothing to flag
+        direct, modules = self._imported_names(target.tree)
+        if not direct and not modules:
+            return
+        severity = config.severity_of(self.code, self.default_severity)
+        seen: set[tuple[int, int]] = set()
+        for func in ast.walk(target.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                key = (node.lineno, node.col_offset)
+                if key in seen:  # nested defs walk the same calls twice
+                    continue
+                constructor = self._constructor_name(node, direct, modules)
+                if constructor is None:
+                    continue
+                seen.add(key)
+                if any(kw.arg == "registry" for kw in node.keywords):
+                    continue  # caller manages its own registry lifecycle
+                yield self.finding(
+                    target.rel,
+                    node.lineno,
+                    f"{constructor}(...) constructed inside "
+                    f"{func.name}() registers on the process-wide "
+                    f"registry per call; move the family to module "
+                    f"level (or pass registry= explicitly)",
+                    severity,
+                )
+
+    @staticmethod
+    def _imported_names(
+        tree: ast.AST,
+    ) -> tuple[dict[str, str], set[str]]:
+        """Local bindings of the constructors and of the metrics module.
+
+        Returns ``(direct, modules)``: ``direct`` maps a local name to the
+        constructor it aliases (``from repro.obs.metrics import Counter as
+        C``); ``modules`` holds local names whose attributes reach the
+        module (``import repro.obs.metrics as m`` → ``m``, plain
+        ``import repro.obs.metrics`` → ``repro.obs.metrics``, and
+        ``from repro.obs import metrics`` → ``metrics``).
+        """
+        direct: dict[str, str] = {}
+        modules: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module == _METRICS_MODULE:
+                    for alias in node.names:
+                        if alias.name in _CONSTRUCTORS:
+                            direct[alias.asname or alias.name] = alias.name
+                elif node.module == "repro.obs":
+                    for alias in node.names:
+                        if alias.name in _CONSTRUCTORS:
+                            direct[alias.asname or alias.name] = alias.name
+                        elif alias.name == "metrics":
+                            modules.add(alias.asname or "metrics")
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == _METRICS_MODULE:
+                        modules.add(alias.asname or alias.name)
+        return direct, modules
+
+    @staticmethod
+    def _constructor_name(
+        node: ast.Call, direct: dict[str, str], modules: set[str]
+    ) -> str | None:
+        name = dotted_name(node.func)
+        if name is None:
+            return None
+        if name in direct:
+            return direct[name]
+        head, _, tail = name.rpartition(".")
+        if head in modules and tail in _CONSTRUCTORS:
+            return tail
+        return None

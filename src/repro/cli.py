@@ -9,11 +9,13 @@ search
 search-db
     Batch-search a FASTA query set against a FASTA database, streaming
     attributed hits as each query completes.
-serve / query
+serve / query / top
     Keep an index resident behind a TCP socket (``serve``: asyncio server
-    with micro-batching, admission control, a result cache and hot index
-    reload) and talk to it (``query``: same output format as ``search-db``,
-    so served and offline runs byte-diff clean).
+    with micro-batching, admission control, a result cache, hot index
+    reload and an optional ``--metrics-port`` Prometheus scrape endpoint),
+    talk to it (``query``: same output format as ``search-db``, so served
+    and offline runs byte-diff clean), or watch it live (``top``: per-mode
+    qps/latency quantiles, queue pressure, cache hit rate, hottest shard).
 index build / info / verify
     Build a persistent index store from a database FASTA, inspect its
     header, or re-verify its checksums.  ``--shards K`` partitions the
@@ -61,6 +63,8 @@ from repro.obs import (
     format_spans,
     maybe_register_build,
     replay_plan,
+    run_top,
+    span_tree,
 )
 from repro.scoring.scheme import DEFAULT_SCHEME, blast_scheme_grid
 from repro.server import SearchServer, ServerClient, wait_until_ready
@@ -332,10 +336,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
         executor=args.executor,
         mode=args.mode,
         request_log=args.request_log,
+        metrics_port=args.metrics_port,
     )
 
     async def _amain() -> None:
         await server.start()
+        if server.metrics_port is not None:
+            logger.info(
+                "metrics on http://%s:%d/metrics",
+                args.host, server.metrics_port,
+            )
         logger.info(
             "batch shape: max_batch=%d linger=%gms queue=%d cache=%d",
             args.max_batch, args.linger_ms, args.max_queue, args.cache_size,
@@ -377,7 +387,8 @@ def cmd_query(args: argparse.Namespace) -> int:
             return 0
         queries = _load_records(args.queries, default_id="query")
         started = time.perf_counter()
-        batch = client.search(queries, trace=args.trace, **_search_kwargs(args))
+        trace = args.trace or args.trace_out is not None
+        batch = client.search(queries, trace=trace, **_search_kwargs(args))
         wall = time.perf_counter() - started
     _hit_header()
     total_hits = dropped = cached = 0
@@ -408,7 +419,42 @@ def cmd_query(args: argparse.Namespace) -> int:
         for result in batch.results:
             rendered = format_spans(result.spans) if result.spans else "(cached)"
             print(f"# trace {result.query_id}: {rendered}", file=sys.stderr)
+    if args.trace_out is not None:
+        # Canonical span-tree JSON for tooling (sorted keys, trailing
+        # newline); stdout stays byte-identical — only the file is written.
+        document = {
+            "engine": batch.engine,
+            "generation": batch.generation,
+            "mode": batch.mode,
+            "queries": [
+                {
+                    "id": result.query_id,
+                    "cached": result.cached,
+                    **span_tree(result.spans),
+                }
+                for result in batch.results
+            ],
+        }
+        Path(args.trace_out).write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"# trace tree -> {args.trace_out}", file=sys.stderr)
     return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    if args.wait > 0:
+        wait_until_ready(args.host, args.port, timeout=args.wait)
+    with ServerClient(args.host, args.port, timeout=args.timeout) as client:
+        try:
+            return run_top(
+                client, interval=args.interval, once=args.once,
+            )
+        except KeyboardInterrupt:
+            return 0
+        except BrokenPipeError:
+            # `repro top --once | head` closing stdout early is not an error.
+            return 0
 
 
 def cmd_index_build(args: argparse.Namespace) -> int:
@@ -876,6 +922,12 @@ def build_parser() -> argparse.ArgumentParser:
         "field (requests can always override per call)",
     )
     serve.add_argument(
+        "--metrics-port", type=int, default=None, metavar="P",
+        help="also serve Prometheus text exposition on GET "
+        "http://HOST:P/metrics (0 picks an ephemeral port, logged on "
+        "stderr); scrape-able by any Prometheus-compatible collector",
+    )
+    serve.add_argument(
         "--request-log", default=None, metavar="CATALOG.db",
         help="append one structured row per request to this catalog "
         "database (query hash, mode, latency, cache hit, batch size, "
@@ -927,6 +979,12 @@ def build_parser() -> argparse.ArgumentParser:
         "milliseconds) on stderr; stdout stays byte-identical",
     )
     query.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="also write the per-query span tree as canonical JSON "
+        "(sorted keys) to FILE; implies trace collection, stdout stays "
+        "byte-identical",
+    )
+    query.add_argument(
         "--stats", action="store_true",
         help="print the server's stats snapshot as JSON and exit",
     )
@@ -935,6 +993,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="ask the server to stop gracefully and exit",
     )
     query.set_defaults(func=cmd_query)
+
+    top = sub.add_parser(
+        "top",
+        help="live terminal dashboard over a running `repro serve` "
+        "(qps/p50/p90/p99 per mode, queue depth, cache hit rate, "
+        "hottest shard)",
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, default=7781)
+    top.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="seconds between polls (default 2)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="print a single frame without clearing the screen and exit "
+        "(scripting/CI)",
+    )
+    top.add_argument("--timeout", type=float, default=60.0)
+    top.add_argument(
+        "--wait", type=float, default=0.0, metavar="SECONDS",
+        help="wait up to SECONDS for the server to come up first",
+    )
+    top.set_defaults(func=cmd_top)
 
     index = sub.add_parser(
         "index", help="build / inspect / verify persistent index stores"

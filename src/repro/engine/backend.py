@@ -16,12 +16,14 @@ callers — warm-up hooks, shadow-recovery, statistics — keep their access).
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
+from time import perf_counter
 from typing import Protocol, runtime_checkable
 
 from repro.align.bwt_sw import BwtSw
 from repro.align.types import SearchResult
 from repro.blast.engine import Blast
 from repro.core.alae import ALAE
+from repro.obs.metrics import Counter, Histogram
 
 #: Hits presented in accumulator order ``(t_end, p_end)`` — the exact
 #: engines' native order, and the one the byte-identical CLI/merge paths
@@ -37,6 +39,41 @@ MODES = ("exact", "fast", "verified")
 #: What the wire protocol / CLI report as the engine label for each mode
 #: (``exact`` keeps the underlying engine's own name).
 MODE_ENGINE_NAMES = {"exact": "alae", "fast": "blast", "verified": "verified"}
+
+# Engine-level accounting, recorded once per backend search from the stats
+# the engines already compute (no extra work on the traversal itself).
+_SEARCHES_TOTAL = Counter(
+    "repro_engine_searches_total",
+    "Backend searches by engine and mode", ("engine", "mode"),
+)
+_NODES_VISITED_TOTAL = Counter(
+    "repro_engine_nodes_visited_total",
+    "Suffix-trie nodes visited by engine traversals", ("mode",),
+)
+_ENTRIES_CALCULATED_TOTAL = Counter(
+    "repro_engine_entries_calculated_total",
+    "Accumulator entries calculated (x1 + x2 + x3)", ("mode",),
+)
+_ENTRIES_REUSED_TOTAL = Counter(
+    "repro_engine_entries_reused_total",
+    "Accumulator entries reused across trie branches", ("mode",),
+)
+_SEARCH_SECONDS = Histogram(
+    "repro_engine_search_seconds", "Backend search wall time", ("mode",),
+)
+
+
+def record_backend_search(info: BackendInfo, result: SearchResult, seconds: float) -> None:
+    """Fold one backend search into the engine metric families."""
+    stats = result.stats
+    _SEARCHES_TOTAL.labels(engine=info.name, mode=info.mode).inc()
+    _SEARCH_SECONDS.labels(mode=info.mode).observe(seconds)
+    if stats.nodes_visited:
+        _NODES_VISITED_TOTAL.labels(mode=info.mode).inc(stats.nodes_visited)
+    if stats.calculated:
+        _ENTRIES_CALCULATED_TOTAL.labels(mode=info.mode).inc(stats.calculated)
+    if stats.reused:
+        _ENTRIES_REUSED_TOTAL.labels(mode=info.mode).inc(stats.reused)
 
 
 @dataclass(frozen=True)
@@ -86,7 +123,10 @@ class _EngineBackend:
         threshold: int | None = None,
         e_value: float | None = None,
     ) -> SearchResult:
-        return self.engine.search(query, threshold, e_value)
+        started = perf_counter()
+        result = self.engine.search(query, threshold, e_value)
+        record_backend_search(self.info, result, perf_counter() - started)
+        return result
 
     def describe(self) -> dict:
         """Fingerprint of the backend plus the engine it wraps."""

@@ -36,7 +36,7 @@ import time
 from repro.align.types import START_UNKNOWN, ResultSet, SearchResult, SearchStats
 from repro.blast.engine import Blast
 from repro.core.alae import ALAE
-from repro.engine.backend import ORDER_SCORE, BackendInfo
+from repro.engine.backend import ORDER_SCORE, BackendInfo, record_backend_search
 from repro.errors import SearchError
 from repro.scoring.evalue import resolve_threshold
 
@@ -149,7 +149,9 @@ class VerifiedBackend:
                 len(results) / exact_hits if exact_hits else 1.0
             )
         stats.elapsed_seconds = time.perf_counter() - started
-        return SearchResult(hits=results, stats=stats, threshold=h_thr)
+        result = SearchResult(hits=results, stats=stats, threshold=h_thr)
+        record_backend_search(self.info, result, stats.elapsed_seconds)
+        return result
 
     # ------------------------------------------------------------- internals
     @staticmethod

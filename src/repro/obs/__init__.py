@@ -15,6 +15,12 @@ schema) plays three roles:
 
 Trace spans (:mod:`repro.obs.spans`) are the in-memory half: named
 wall-time buckets on ``SearchStats`` threaded service → shards → engine.
+
+:mod:`repro.obs.metrics` is the *live* half: a process-wide registry of
+Counter/Gauge/Histogram families every serving layer instruments at module
+import, exported as Prometheus text (:mod:`repro.obs.exporter`), as the
+``metrics`` wire op, and as the ``repro top`` dashboard
+(:mod:`repro.obs.top`).
 """
 
 from repro.obs.catalog import (
@@ -28,7 +34,26 @@ from repro.obs.catalog import (
     maybe_record_bench,
     maybe_register_build,
 )
+from repro.obs.exporter import MetricsExporter
 from repro.obs.logcfg import JsonLineFormatter, configure_logging
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    EWMA,
+    REGISTRY,
+    SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+    default_registry,
+    family,
+    format_value,
+    histogram_quantile,
+    metrics_enabled,
+    sample_value,
+    set_enabled,
+)
 from repro.obs.replay import (
     CapacityReport,
     ReplayError,
@@ -49,18 +74,41 @@ from repro.obs.spans import (
     shard_seconds,
     shard_span,
     span,
+    span_tree,
 )
+from repro.obs.top import TopSample, collect_sample, render_top, run_top
 
 __all__ = [
     "CATALOG_ENV",
+    "DEFAULT_LATENCY_BUCKETS",
+    "EWMA",
+    "REGISTRY",
     "SCHEMA_VERSION",
+    "SIZE_BUCKETS",
     "Catalog",
     "CatalogError",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsError",
+    "MetricsExporter",
+    "MetricsRegistry",
     "RequestMix",
+    "TopSample",
     "apply_migrations",
+    "collect_sample",
     "connect",
+    "default_registry",
+    "family",
+    "format_value",
+    "histogram_quantile",
     "maybe_record_bench",
     "maybe_register_build",
+    "metrics_enabled",
+    "render_top",
+    "run_top",
+    "sample_value",
+    "set_enabled",
     "JsonLineFormatter",
     "configure_logging",
     "CapacityReport",
@@ -82,4 +130,5 @@ __all__ = [
     "shard_seconds",
     "shard_span",
     "span",
+    "span_tree",
 ]

@@ -1,0 +1,105 @@
+"""Stdlib-only Prometheus scrape endpoint for the metrics registry.
+
+:class:`MetricsExporter` runs a ``ThreadingHTTPServer`` on a daemon
+thread; ``GET /metrics`` renders :meth:`MetricsRegistry.exposition` with
+the standard ``text/plain; version=0.0.4`` content type, so any
+Prometheus-compatible scraper can point at ``repro serve
+--metrics-port P`` unmodified.  The exporter reads a shared registry and
+never mutates it, so it needs no coordination with the serving loop.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.metrics import MetricsRegistry, default_registry
+
+logger = logging.getLogger("repro.obs.exporter")
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_INDEX_BODY = (
+    b"<html><body>repro metrics exporter &mdash; "
+    b'scrape <a href="/metrics">/metrics</a></body></html>\n'
+)
+
+
+class MetricsExporter:
+    """Serve ``GET /metrics`` for one registry on a daemon thread."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.registry = registry if registry is not None else default_registry()
+        self.host = host
+        self._requested_port = port
+        self._server: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the ephemeral choice)."""
+        if self._server is None:
+            return self._requested_port
+        return self._server.server_address[1]
+
+    def start(self) -> "MetricsExporter":
+        if self._server is not None:
+            return self
+        registry = self.registry
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                if self.path.split("?", 1)[0] == "/metrics":
+                    body = registry.exposition().encode("utf-8")
+                    self.send_response(200)
+                    self.send_header("Content-Type", CONTENT_TYPE)
+                    self.send_header("Content-Length", str(len(body)))
+                    self.end_headers()
+                    self.wfile.write(body)
+                elif self.path in ("/", "/index.html"):
+                    self.send_response(200)
+                    self.send_header("Content-Type", "text/html; charset=utf-8")
+                    self.send_header("Content-Length", str(len(_INDEX_BODY)))
+                    self.end_headers()
+                    self.wfile.write(_INDEX_BODY)
+                else:
+                    self.send_error(404, "scrape /metrics")
+
+            def log_message(self, format: str, *args: object) -> None:
+                logger.debug("scrape %s", format % args)
+
+        self._server = ThreadingHTTPServer(
+            (self.host, self._requested_port), Handler
+        )
+        self._server.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-metrics-exporter",
+            daemon=True,
+        )
+        self._thread.start()
+        logger.info("metrics exporter on http://%s:%d/metrics", self.host, self.port)
+        return self
+
+    def close(self) -> None:
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._server = None
+        self._thread = None
+
+    def __enter__(self) -> "MetricsExporter":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

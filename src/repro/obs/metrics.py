@@ -1,0 +1,579 @@
+"""Process-wide metrics registry with Prometheus text exposition.
+
+Three primitives — :class:`Counter`, :class:`Gauge`, and fixed-bucket
+:class:`Histogram` — register themselves on a process-wide
+:class:`MetricsRegistry` at module import (the REP701 lint rule enforces
+import-time construction, so label series and registration never race a
+request).  Design constraints, in order:
+
+* **Cheap on the hot path.**  A labelled increment is one dict hit (label
+  children are cached) plus one short critical section under a per-metric
+  lock — no allocation, no string formatting.  Call :func:`set_enabled`
+  with ``False`` and every mutator becomes a single global read and an
+  early return, which is what the throughput bench compares against.
+* **Deterministic output.**  ``exposition()`` sorts families by name and
+  series by label values, bucket bounds are fixed at construction, and
+  values format identically across runs (integers without a trailing
+  ``.0``), so tests can assert exact exposition strings.
+* **No imports beyond stdlib + ``repro.errors``.**  Every serving layer
+  imports this module; it must never import them back.
+
+Counters and histograms are exact under concurrency (mutations are
+locked), which the thread-hammer tests assert.  Gauges are last-write-wins
+by nature.  Quantiles come from the cumulative bucket counts and return
+the upper bound of the containing bucket — a deterministic overestimate,
+which is the safe direction for the latency-budget routing signals this
+module feeds.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from typing import Iterable, Mapping
+
+from repro.errors import ReproError
+
+
+class MetricsError(ReproError):
+    """Invalid metric definition or use (bad name, label mismatch, ...)."""
+
+
+#: Default latency buckets (seconds): sub-millisecond to 10 s, the range a
+#: single served query can realistically span on this engine.
+DEFAULT_LATENCY_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Buckets for "how many queries rode in this batch" style size histograms.
+SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+_enabled = True
+
+#: Sentinel meaning "the default registry" (must be distinguishable from
+#: an explicit ``registry=None``, which means "unregistered").
+_DEFAULT = object()
+
+
+def set_enabled(flag: bool) -> None:
+    """Globally enable/disable metric mutation (values freeze, reads work)."""
+    global _enabled
+    _enabled = bool(flag)
+
+
+def metrics_enabled() -> bool:
+    return _enabled
+
+
+def format_value(value: float) -> str:
+    """Render a sample value the same way every time.
+
+    Integral values print without a fraction (``3`` not ``3.0``) and
+    infinities as ``+Inf``/``-Inf``, matching Prometheus conventions and
+    keeping exposition byte-stable for tests.
+    """
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    as_float = float(value)
+    if as_float.is_integer() and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _render_labels(names: tuple[str, ...], values: tuple[str, ...]) -> str:
+    if not names:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label(value)}"'
+        for name, value in zip(names, values)
+    )
+    return "{" + inner + "}"
+
+
+class _Child:
+    """State for one label combination; shares the parent metric's lock."""
+
+    __slots__ = ("_lock",)
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+
+
+class _CounterChild(_Child):
+    __slots__ = ("_value",)
+
+    def __init__(self, lock: threading.Lock) -> None:
+        super().__init__(lock)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not _enabled:
+            return
+        if amount < 0:
+            raise MetricsError("counters can only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _reset(self) -> None:
+        self._value = 0.0
+
+
+class _GaugeChild(_Child):
+    __slots__ = ("_value",)
+
+    def __init__(self, lock: threading.Lock) -> None:
+        super().__init__(lock)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        if not _enabled:
+            return
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not _enabled:
+            return
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _reset(self) -> None:
+        self._value = 0.0
+
+
+class _HistogramChild(_Child):
+    __slots__ = ("_bounds", "_counts", "_sum")
+
+    def __init__(self, lock: threading.Lock, bounds: tuple[float, ...]) -> None:
+        super().__init__(lock)
+        self._bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # trailing slot is +Inf
+        self._sum = 0.0
+
+    def observe(self, value: float) -> None:
+        if not _enabled:
+            return
+        value = float(value)
+        index = 0
+        for bound in self._bounds:
+            if value <= bound:
+                break
+            index += 1
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+
+    @property
+    def count(self) -> int:
+        return sum(self._counts)
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket containing the q-quantile observation.
+
+        Deterministic and conservative (never underestimates); returns
+        0.0 with no observations and the largest finite bound for
+        observations past it.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise MetricsError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            counts = list(self._counts)
+        total = sum(counts)
+        if total == 0:
+            return 0.0
+        rank = q * total
+        cumulative = 0
+        for bound, count in zip(self._bounds, counts):
+            cumulative += count
+            if cumulative >= rank:
+                return bound
+        return self._bounds[-1]
+
+    def _reset(self) -> None:
+        self._counts = [0] * (len(self._bounds) + 1)
+        self._sum = 0.0
+
+
+class _Metric:
+    """Base for the three primitives: label handling + registration."""
+
+    type = "untyped"
+    _child_cls: type[_Child] = _Child
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: Iterable[str] = (),
+        *,
+        registry: "MetricsRegistry | None | object" = _DEFAULT,
+    ) -> None:
+        if not _NAME_RE.match(name):
+            raise MetricsError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        for label in self.labelnames:
+            if not _LABEL_RE.match(label) or label.startswith("__"):
+                raise MetricsError(f"invalid label name {label!r}")
+        self._lock = threading.Lock()
+        self._children: dict[tuple[str, ...], _Child] = {}
+        if registry is _DEFAULT:
+            registry = REGISTRY
+        if registry is not None:
+            registry.register(self)
+
+    def _signature(self) -> tuple:
+        return (type(self).__name__, self.labelnames)
+
+    def _adopt(self, other: "_Metric") -> None:
+        """Share state with ``other`` (same name re-registered, e.g. on a
+        module re-import): both instances read and write one series set."""
+        self._lock = other._lock
+        self._children = other._children
+
+    def _make_child(self) -> _Child:
+        return self._child_cls(self._lock)
+
+    def labels(self, *values: object, **kwargs: object) -> _Child:
+        if kwargs:
+            if values:
+                raise MetricsError("pass label values positionally or by name, not both")
+            try:
+                values = tuple(kwargs[name] for name in self.labelnames)
+            except KeyError as exc:
+                raise MetricsError(f"missing label {exc.args[0]!r} for {self.name}") from None
+            if len(kwargs) != len(self.labelnames):
+                raise MetricsError(f"unexpected labels for {self.name}: {sorted(kwargs)}")
+        if len(values) != len(self.labelnames):
+            raise MetricsError(
+                f"{self.name} takes {len(self.labelnames)} label values, "
+                f"got {len(values)}"
+            )
+        key = tuple(str(v) for v in values)
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.get(key)
+                if child is None:
+                    child = self._make_child()
+                    self._children[key] = child
+        return child
+
+    def _default_child(self) -> _Child:
+        return self.labels()
+
+    def _sorted_children(self) -> list[tuple[tuple[str, ...], _Child]]:
+        with self._lock:
+            return sorted(self._children.items())
+
+    def _reset(self) -> None:
+        with self._lock:
+            for child in self._children.values():
+                child._reset()  # type: ignore[attr-defined]
+
+    def series(self) -> list[tuple[dict, _Child]]:
+        """``(labels_dict, child)`` per label combination, sorted by labels."""
+        return [
+            (dict(zip(self.labelnames, key)), child)
+            for key, child in self._sorted_children()
+        ]
+
+    # -- exposition -------------------------------------------------------
+    def sample_lines(self) -> list[str]:
+        lines = []
+        for key, child in self._sorted_children():
+            labels = _render_labels(self.labelnames, key)
+            lines.append(f"{self.name}{labels} {format_value(child.value)}")
+        return lines
+
+    def collect_samples(self) -> list[dict]:
+        samples = []
+        for key, child in self._sorted_children():
+            samples.append(
+                {"labels": dict(zip(self.labelnames, key)), "value": child.value}
+            )
+        return samples
+
+
+class Counter(_Metric):
+    """Monotonically increasing count; name should end in ``_total``."""
+
+    type = "counter"
+    _child_cls = _CounterChild
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default_child().inc(amount)
+
+    @property
+    def value(self) -> float:
+        return self._default_child().value
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (queue depth, in-flight requests)."""
+
+    type = "gauge"
+    _child_cls = _GaugeChild
+
+    def set(self, value: float) -> None:
+        self._default_child().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default_child().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default_child().dec(amount)
+
+    @property
+    def value(self) -> float:
+        return self._default_child().value
+
+
+class Histogram(_Metric):
+    """Fixed-bucket histogram with cumulative Prometheus exposition."""
+
+    type = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: Iterable[str] = (),
+        *,
+        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
+        registry: "MetricsRegistry | None | object" = _DEFAULT,
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise MetricsError("histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise MetricsError("bucket bounds must be strictly increasing")
+        if math.inf in bounds:
+            bounds = bounds[:-1]  # +Inf is implicit
+        self.buckets = bounds
+        if "le" in tuple(labelnames):
+            raise MetricsError("'le' is reserved for histogram buckets")
+        super().__init__(name, help, labelnames, registry=registry)
+
+    def _signature(self) -> tuple:
+        return (type(self).__name__, self.labelnames, self.buckets)
+
+    def _make_child(self) -> _HistogramChild:
+        return _HistogramChild(self._lock, self.buckets)
+
+    def observe(self, value: float) -> None:
+        self._default_child().observe(value)
+
+    def quantile(self, q: float) -> float:
+        return self._default_child().quantile(q)
+
+    @property
+    def count(self) -> int:
+        return self._default_child().count
+
+    @property
+    def sum(self) -> float:
+        return self._default_child().sum
+
+    def sample_lines(self) -> list[str]:
+        lines = []
+        for key, child in self._sorted_children():
+            with self._lock:
+                counts = list(child._counts)
+                total_sum = child._sum
+            cumulative = 0
+            for bound, count in zip(self.buckets + (math.inf,), counts):
+                cumulative += count
+                names = self.labelnames + ("le",)
+                values = key + (format_value(bound),)
+                labels = _render_labels(names, values)
+                lines.append(f"{self.name}_bucket{labels} {cumulative}")
+            labels = _render_labels(self.labelnames, key)
+            lines.append(f"{self.name}_sum{labels} {format_value(total_sum)}")
+            lines.append(f"{self.name}_count{labels} {cumulative}")
+        return lines
+
+    def collect_samples(self) -> list[dict]:
+        samples = []
+        for key, child in self._sorted_children():
+            with self._lock:
+                counts = list(child._counts)
+                total_sum = child._sum
+            buckets = []
+            cumulative = 0
+            for bound, count in zip(self.buckets + (math.inf,), counts):
+                cumulative += count
+                buckets.append([format_value(bound), cumulative])
+            samples.append(
+                {
+                    "labels": dict(zip(self.labelnames, key)),
+                    "buckets": buckets,
+                    "sum": total_sum,
+                    "count": cumulative,
+                }
+            )
+        return samples
+
+
+class MetricsRegistry:
+    """Holds metric families; renders them as text or structured data."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, _Metric] = {}
+
+    def register(self, metric: _Metric) -> None:
+        with self._lock:
+            existing = self._metrics.get(metric.name)
+            if existing is not None:
+                if existing._signature() != metric._signature():
+                    raise MetricsError(
+                        f"metric {metric.name!r} already registered with a "
+                        "different type, labels, or buckets"
+                    )
+                metric._adopt(existing)
+                return
+            self._metrics[metric.name] = metric
+
+    def get(self, name: str) -> _Metric | None:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def _families(self) -> list[_Metric]:
+        with self._lock:
+            return sorted(self._metrics.values(), key=lambda m: m.name)
+
+    def exposition(self) -> str:
+        """Prometheus text exposition format 0.0.4, deterministically ordered."""
+        lines: list[str] = []
+        for metric in self._families():
+            lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
+            lines.append(f"# TYPE {metric.name} {metric.type}")
+            lines.extend(metric.sample_lines())
+        return "\n".join(lines) + "\n"
+
+    def collect(self) -> list[dict]:
+        """Structured families for the JSON wire protocol's ``metrics`` op."""
+        return [
+            {
+                "name": metric.name,
+                "type": metric.type,
+                "help": metric.help,
+                "samples": metric.collect_samples(),
+            }
+            for metric in self._families()
+        ]
+
+    def reset(self) -> None:
+        """Zero every series, keeping registrations and label sets (tests)."""
+        for metric in self._families():
+            metric._reset()
+
+
+class EWMA:
+    """Exponentially weighted moving average — the queue-depth routing signal."""
+
+    __slots__ = ("alpha", "_value", "_primed", "_lock")
+
+    def __init__(self, alpha: float = 0.2) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise MetricsError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._value = 0.0
+        self._primed = False
+        self._lock = threading.Lock()
+
+    def update(self, sample: float) -> float:
+        with self._lock:
+            if not self._primed:
+                self._value = float(sample)
+                self._primed = True
+            else:
+                self._value += self.alpha * (float(sample) - self._value)
+            return self._value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+#: The process-wide registry every instrumented module registers on.
+REGISTRY = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    return REGISTRY
+
+
+# ---------------------------------------------------------------------------
+# Helpers for consumers of collect() output (repro top, routing clients).
+
+def family(families: list[dict], name: str) -> dict | None:
+    """Find one family by name in ``MetricsRegistry.collect()`` output."""
+    for fam in families:
+        if fam.get("name") == name:
+            return fam
+    return None
+
+
+def sample_value(families: list[dict], name: str, **labels: str) -> float | None:
+    """Value of the sample of ``name`` matching exactly ``labels``."""
+    fam = family(families, name)
+    if fam is None:
+        return None
+    want = {k: str(v) for k, v in labels.items()}
+    for sample in fam["samples"]:
+        if sample["labels"] == want:
+            return sample.get("value")
+    return None
+
+
+def histogram_quantile(sample: Mapping, q: float) -> float:
+    """Quantile (upper bucket bound) from one structured histogram sample."""
+    total = sample.get("count", 0)
+    if not total:
+        return 0.0
+    rank = q * total
+    previous = 0.0
+    for bound_text, cumulative in sample["buckets"]:
+        if bound_text == "+Inf":
+            return previous
+        previous = float(bound_text)
+        if cumulative >= rank:
+            return previous
+    return previous

@@ -25,8 +25,17 @@ from collections import deque
 from pathlib import Path
 
 from repro.obs.catalog import Catalog, connect
+from repro.obs.metrics import Counter
 
 logger = logging.getLogger("repro.obs.reqlog")
+
+_WRITTEN_TOTAL = Counter(
+    "repro_reqlog_written_total", "Request-log rows committed to SQLite"
+)
+_DROPPED_TOTAL = Counter(
+    "repro_reqlog_dropped_total",
+    "Request-log rows shed by backpressure (queue full or closing)",
+)
 
 #: Column order of one queued row (mirrors the ``requests`` table).
 REQUEST_COLUMNS = (
@@ -95,6 +104,7 @@ class RequestLog:
         """Enqueue one request row (``REQUEST_COLUMNS`` order). O(1), no I/O."""
         if self._stopping or len(self._queue) >= self._max_pending:
             self.dropped += 1
+            _DROPPED_TOTAL.inc()
             return
         self._queue.append(row)
         if not self._wake.is_set():
@@ -150,6 +160,7 @@ class RequestLog:
                         with conn:
                             conn.executemany(_INSERT, batch)
                         self.written += len(batch)
+                        _WRITTEN_TOTAL.inc(len(batch))
                     # repro-lint: allow[REP501] -- telemetry must never take
                     # the server down: any write failure (disk full, locked
                     # DB, schema drift) is counted and logged, never raised.

@@ -81,6 +81,28 @@ def shard_seconds(spans: dict) -> list[float]:
     return [found[i] for i in sorted(found)]
 
 
+def span_tree(spans: dict) -> dict:
+    """Nest a flat span dict for canonical JSON (``--trace-out``).
+
+    Shard attributions move under a ``"shards"`` key (indexed by shard
+    number as a string, numerically ordered); everything else sits under
+    ``"spans"``, sorted by name.  Values round to microseconds so the
+    document is stable under re-serialization.
+    """
+    plain: dict[str, float] = {}
+    shards: dict[str, float] = {}
+    for name in sorted(spans):
+        suffix = name[len(_SHARD_PREFIX):]
+        if name.startswith(_SHARD_PREFIX) and suffix.isdigit():
+            shards[suffix] = round(float(spans[name]), 6)
+        else:
+            plain[name] = round(float(spans[name]), 6)
+    tree: dict = {"spans": plain}
+    if shards:
+        tree["shards"] = {key: shards[key] for key in sorted(shards, key=int)}
+    return tree
+
+
 def format_spans(spans: dict) -> str:
     """One-line rendering for ``--trace`` output (stable key order)."""
     return " ".join(

@@ -1,0 +1,167 @@
+"""``repro top`` — a live terminal dashboard over the serving tier.
+
+Polls a running :class:`~repro.server.SearchServer` over the wire protocol
+(``stats`` + ``metrics`` ops, nothing HTTP) and renders one compact frame:
+per-mode qps and latency quantiles, queue pressure (depth + EWMA), cache
+hit rate, request-log health, and the hottest shard.  Rendering is a pure
+function of two :class:`TopSample` snapshots, so tests drive it with
+synthetic data and assert exact frames; qps comes from differencing the
+per-mode served counters between polls.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.obs.metrics import family, histogram_quantile
+
+#: ANSI "clear screen, cursor home" prefix between live frames.
+CLEAR = "\x1b[2J\x1b[H"
+
+
+@dataclass
+class TopSample:
+    """One poll of the server: stats body + metric families + routing."""
+
+    at: float  # monotonic stamp, used only for qps differencing
+    stats: dict = field(default_factory=dict)
+    families: list = field(default_factory=list)
+    routing: dict = field(default_factory=dict)
+    index: str = ""
+    mode: str = ""
+
+
+def collect_sample(client, at: float | None = None) -> TopSample:
+    """Poll ``stats`` and ``metrics`` on an open :class:`ServerClient`."""
+    stats_response = client.stats()
+    metrics_response = client.metrics()
+    return TopSample(
+        at=time.monotonic() if at is None else at,
+        stats=stats_response.get("stats", {}),
+        families=metrics_response.get("families", []),
+        routing=metrics_response.get("routing", {}),
+        index=stats_response.get("index", ""),
+        mode=stats_response.get("mode", ""),
+    )
+
+
+def _histogram_samples(families: list, name: str) -> list:
+    found = family(families, name)
+    return found["samples"] if found else []
+
+
+def _gauge_value(families: list, name: str) -> float:
+    found = family(families, name)
+    if found and found["samples"]:
+        return float(found["samples"][0].get("value", 0.0))
+    return 0.0
+
+
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1000.0:.2f}"
+
+
+def render_top(sample: TopSample, previous: TopSample | None = None) -> str:
+    """One dashboard frame; deterministic given the two samples."""
+    stats = sample.stats
+    lines = [
+        f"repro top — {sample.index or '?'} — mode {sample.mode or '?'} — "
+        f"generation {stats.get('generation', 0)} — "
+        f"uptime {stats.get('uptime_seconds', 0.0):.0f}s",
+        "",
+        f"{'mode':<10}{'qps':>8}{'p50ms':>10}{'p90ms':>10}"
+        f"{'p99ms':>10}{'served':>10}",
+    ]
+    served = _histogram_samples(sample.families, "repro_server_request_seconds")
+    previous_counts: dict[str, int] = {}
+    elapsed = 0.0
+    if previous is not None:
+        elapsed = sample.at - previous.at
+        for entry in _histogram_samples(
+            previous.families, "repro_server_request_seconds"
+        ):
+            previous_counts[entry["labels"].get("mode", "")] = entry["count"]
+    for entry in served:
+        mode = entry["labels"].get("mode", "?")
+        count = entry["count"]
+        if previous is not None and elapsed > 0:
+            qps = (count - previous_counts.get(mode, 0)) / elapsed
+            qps_text = f"{qps:.1f}"
+        else:
+            qps_text = "-"
+        lines.append(
+            f"{mode:<10}{qps_text:>8}"
+            f"{_ms(histogram_quantile(entry, 0.5)):>10}"
+            f"{_ms(histogram_quantile(entry, 0.9)):>10}"
+            f"{_ms(histogram_quantile(entry, 0.99)):>10}"
+            f"{count:>10}"
+        )
+    if not served:
+        lines.append("(no served queries yet)")
+    lines.append("")
+    lines.append(
+        f"queue: depth {stats.get('queue_depth', 0)} "
+        f"(ewma {float(sample.routing.get('ewma_queue_depth', 0.0)):.2f})  "
+        f"inflight "
+        f"{int(_gauge_value(sample.families, 'repro_server_inflight_requests'))}  "
+        f"overloaded {stats.get('overloaded_total', 0)}"
+    )
+    hits = stats.get("cache_hits", 0)
+    misses = stats.get("cache_misses", 0)
+    lookups = hits + misses
+    hit_rate = 100.0 * hits / lookups if lookups else 0.0
+    lines.append(
+        f"cache: {hit_rate:.1f}% hit ({hits} hits / {misses} misses, "
+        f"{stats.get('cache_size', 0)} entries)"
+    )
+    request_log = stats.get("request_log")
+    if request_log:
+        lines.append(
+            f"reqlog: written {request_log.get('written', 0)} "
+            f"dropped {request_log.get('dropped', 0)} "
+            f"pending {request_log.get('pending', 0)}"
+        )
+    shards = _histogram_samples(sample.families, "repro_sharded_shard_seconds")
+    if shards:
+        hottest = max(shards, key=lambda entry: entry["sum"])
+        total_work = sum(entry["sum"] for entry in shards)
+        lines.append(
+            f"shards: {len(shards)} reporting, hottest "
+            f"shard{hottest['labels'].get('shard', '?')} "
+            f"({hottest['sum']:.3f}s of {total_work:.3f}s work)"
+        )
+    return "\n".join(lines)
+
+
+def run_top(
+    client,
+    *,
+    interval: float = 2.0,
+    once: bool = False,
+    iterations: int | None = None,
+    write: Callable[[str], None] = print,
+) -> int:
+    """Poll-and-render loop behind ``repro top``.
+
+    ``once`` prints a single frame without clearing the screen (CI and
+    scripting); ``iterations`` bounds the loop for tests.  Runs until
+    interrupted otherwise.
+    """
+    previous: TopSample | None = None
+    frames = 0
+    while True:
+        sample = collect_sample(client)
+        frame = render_top(sample, previous)
+        if once or iterations is not None:
+            write(frame)
+        else:
+            write(CLEAR + frame)
+        if once:
+            return 0
+        frames += 1
+        if iterations is not None and frames >= iterations:
+            return 0
+        previous = sample
+        time.sleep(interval)

@@ -33,8 +33,26 @@ from time import perf_counter
 from typing import Awaitable, Callable
 
 from repro.errors import ReproError
+from repro.obs.metrics import SIZE_BUCKETS, Counter, Gauge, Histogram
 from repro.obs.spans import SPAN_ADMISSION_WAIT, SPAN_BATCH_LINGER
 from repro.service import Query, QueryResult
+
+_ADMISSION_WAIT_SECONDS = Histogram(
+    "repro_batcher_admission_wait_seconds",
+    "Per-query wait between admission and batch dispatch",
+)
+_BATCH_SIZE = Histogram(
+    "repro_batcher_batch_size",
+    "Queries riding in each engine dispatch",
+    buckets=SIZE_BUCKETS,
+)
+_QUEUE_DEPTH = Gauge(
+    "repro_batcher_queue_depth",
+    "Admitted queries not yet resolved (queued + running batch)",
+)
+_SUBMITTED_TOTAL = Counter(
+    "repro_batcher_submitted_total", "Queries admitted to the batch queue"
+)
 
 
 class Overloaded(ReproError):
@@ -134,6 +152,8 @@ class MicroBatcher:
         future = asyncio.get_running_loop().create_future()
         item = PendingQuery(query=query, key=key, future=future)
         self._pending += 1
+        _SUBMITTED_TOTAL.inc()
+        _QUEUE_DEPTH.set(self._pending)
         self._queue.put_nowait(item)
         return future
 
@@ -188,6 +208,9 @@ class MicroBatcher:
                 0.0, run_start - min(item.submitted for item in batch)
             ),
         }
+        for item in batch:
+            _ADMISSION_WAIT_SECONDS.observe(max(0.0, run_start - item.submitted))
+        _BATCH_SIZE.observe(len(batch))
         async with self.pause:  # a reload in progress finishes first
             queries = [item.query for item in batch]
             try:
@@ -200,6 +223,7 @@ class MicroBatcher:
                     if not item.future.done():
                         item.future.set_exception(exc)
                 self._pending -= len(batch)
+                _QUEUE_DEPTH.set(self._pending)
                 return
         if len(results) != len(batch):
             exc = ReproError(
@@ -214,6 +238,7 @@ class MicroBatcher:
                 if not item.future.done():  # client may have gone away
                     item.future.set_result(result)
         self._pending -= len(batch)
+        _QUEUE_DEPTH.set(self._pending)
         if self._on_batch is not None:
             self._on_batch(len(batch), batch_spans)
 
@@ -233,3 +258,4 @@ class MicroBatcher:
             if not item.future.done():
                 item.future.set_exception(exc)
             self._pending -= 1
+        _QUEUE_DEPTH.set(self._pending)

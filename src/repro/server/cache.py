@@ -24,7 +24,21 @@ from dataclasses import dataclass, field
 
 from repro.align.types import SearchStats
 from repro.io.database import LocatedHit
+from repro.obs.metrics import Counter
 from repro.service import QueryResult
+
+# Cache-level accounting: counts every lookup (including lookups for
+# requests later rejected by admission control), unlike the stats RPC's
+# served-traffic hit rate.
+_HITS_TOTAL = Counter(
+    "repro_result_cache_hits_total", "Result-cache lookups that hit"
+)
+_MISSES_TOTAL = Counter(
+    "repro_result_cache_misses_total", "Result-cache lookups that missed"
+)
+_EVICTIONS_TOTAL = Counter(
+    "repro_result_cache_evictions_total", "Result-cache LRU evictions"
+)
 
 
 @dataclass(frozen=True)
@@ -89,21 +103,30 @@ class ResultCache:
 
     def get(self, key: tuple) -> CachedResult | None:
         if self.capacity == 0:
+            _MISSES_TOTAL.inc()
             return None
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:
                 self._entries.move_to_end(key)
-            return entry
+        if entry is None:
+            _MISSES_TOTAL.inc()
+        else:
+            _HITS_TOTAL.inc()
+        return entry
 
     def put(self, key: tuple, value: CachedResult) -> None:
         if self.capacity == 0:
             return
+        evicted = 0
         with self._lock:
             self._entries[key] = value
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
+                evicted += 1
+        if evicted:
+            _EVICTIONS_TOTAL.inc(evicted)
 
     def clear(self) -> None:
         with self._lock:

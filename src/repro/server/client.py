@@ -239,6 +239,11 @@ class ServerClient:
         """The server's ``stats`` snapshot (qps, latency, cache, queue)."""
         return self._simple("stats")
 
+    def metrics(self) -> dict:
+        """The process-wide metric families (structured ``collect()`` form)
+        plus the budget-routing signal block."""
+        return self._simple("metrics")
+
     def ping(self) -> dict:
         return self._simple("ping")
 

@@ -42,6 +42,15 @@ from pathlib import Path
 from repro.engine import MODE_ENGINE_NAMES, check_mode
 from repro.errors import ReproError
 from repro.io.database import LocatedHit
+from repro.obs.exporter import MetricsExporter
+from repro.obs.metrics import (
+    EWMA,
+    Counter,
+    Gauge,
+    Histogram,
+    default_registry,
+    metrics_enabled,
+)
 from repro.obs.reqlog import RequestLog, query_hash
 from repro.obs.spans import shard_seconds
 from repro.server.batcher import BatchKey, MicroBatcher, Overloaded
@@ -68,6 +77,38 @@ from repro.store.format import header_prefix_crc
 from repro.store.sharded import manifest_payload_crc
 
 logger = logging.getLogger("repro.server")
+
+# Metric families live at module import (REP701): the serving tier's view of
+# itself.  They are process-wide — two servers in one process (tests) share
+# them, so assertions should compare deltas, not absolutes.
+_REQUESTS_TOTAL = Counter(
+    "repro_server_requests_total", "Wire requests by operation", ("op",)
+)
+_REQUEST_SECONDS = Histogram(
+    "repro_server_request_seconds",
+    "End-to-end served search latency (per query, by mode) — the "
+    "budget-routing quantile source",
+    ("mode",),
+)
+_INFLIGHT = Gauge(
+    "repro_server_inflight_requests", "Wire requests currently being handled"
+)
+_GENERATION = Gauge(
+    "repro_server_generation", "Hot-reload generation of the resident index"
+)
+_QUEUE_EWMA = Gauge(
+    "repro_server_queue_depth_ewma",
+    "EWMA of the micro-batch queue depth, sampled at each search request — "
+    "the budget-routing pressure signal",
+)
+_OVERLOADED_TOTAL = Counter(
+    "repro_server_overloaded_total",
+    "Search requests rejected by admission control",
+)
+
+#: Ops get their own label value; anything else is folded into "unknown" so
+#: a misbehaving client cannot mint unbounded label series.
+_KNOWN_OPS = frozenset({"search", "stats", "metrics", "ping", "reload", "shutdown"})
 
 
 def index_epoch(path: str | Path) -> int:
@@ -152,6 +193,11 @@ class SearchServer:
         generation, status) via :class:`~repro.obs.reqlog.RequestLog` —
         the hot path pays one deque enqueue, SQLite happens on a
         background thread.
+    metrics_port:
+        When set, :meth:`start` also binds a Prometheus scrape endpoint
+        (``GET /metrics``) on ``host:metrics_port`` via
+        :class:`~repro.obs.exporter.MetricsExporter`; ``0`` picks an
+        ephemeral port (read it back from :attr:`metrics_port`).
     """
 
     def __init__(
@@ -172,6 +218,7 @@ class SearchServer:
         max_frame: int = MAX_FRAME_BYTES,
         max_inflight: int = 32,
         request_log: str | Path | None = None,
+        metrics_port: int | None = None,
     ) -> None:
         if max_inflight < 1:
             raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
@@ -209,12 +256,22 @@ class SearchServer:
             None if request_log is None else Path(request_log)
         )
         self._request_log: RequestLog | None = None
+        self._metrics_port = metrics_port
+        self._exporter: MetricsExporter | None = None
+        self._queue_ewma = EWMA(alpha=0.2)
 
     # -------------------------------------------------------------- lifecycle
     @property
     def port(self) -> int:
         """The actually bound port (resolves ``port=0`` after :meth:`start`)."""
         return self._bound_port or self._requested_port
+
+    @property
+    def metrics_port(self) -> int | None:
+        """The bound scrape port, or ``None`` when the exporter is off."""
+        if self._exporter is not None:
+            return self._exporter.port
+        return self._metrics_port
 
     @property
     def sharded(self) -> bool:
@@ -233,6 +290,7 @@ class SearchServer:
             self._executor, self._open_service
         )
         self.generation = 1
+        _GENERATION.set(self.generation)
         if self._request_log_path is not None:
             # Built on the executor thread: schema creation is SQLite I/O.
             self._request_log = await loop.run_in_executor(
@@ -255,6 +313,11 @@ class SearchServer:
             self.index_path, self.host, self._bound_port,
             self.default_mode, self.sharded,
         )
+        if self._metrics_port is not None:
+            self._exporter = MetricsExporter(
+                host=self.host, port=self._metrics_port
+            )
+            self._exporter.start()
         if self.reload_poll > 0:
             self._reload_task = loop.create_task(
                 self._reload_loop(), name="repro-serve-reload"
@@ -290,6 +353,9 @@ class SearchServer:
         if self._request_log is not None:
             self._request_log.close()
             self._request_log = None
+        if self._exporter is not None:
+            self._exporter.close()
+            self._exporter = None
         logger.info("server stopped")
         if self._stopped_event is not None:
             self._stopped_event.set()
@@ -370,6 +436,7 @@ class SearchServer:
             self.service = service
             self._epoch = epoch
             self.generation += 1
+            _GENERATION.set(self.generation)
             self._cache.clear()
             self._stats.count("reloads_total")
             logger.info(
@@ -492,9 +559,39 @@ class SearchServer:
                 entry.cancel()
 
     # --------------------------------------------------------------- requests
+    def routing_signals(self) -> dict:
+        """Budget-routing inputs: queue pressure + per-mode latency quantiles.
+
+        The next PR's latency-budget router consumes this block (also
+        embedded in ``stats`` and ``metrics`` responses): pick the cheapest
+        mode whose p99 fits the caller's budget, backing off when the EWMA
+        queue depth says the batcher is saturated.
+        """
+        quantiles = {}
+        for labels, child in _REQUEST_SECONDS.series():
+            if child.count:
+                quantiles[labels["mode"]] = {
+                    "p50": child.quantile(0.5),
+                    "p90": child.quantile(0.9),
+                    "p99": child.quantile(0.99),
+                }
+        return {
+            "queue_depth": self._batcher.depth if self._batcher else 0,
+            "ewma_queue_depth": round(self._queue_ewma.value, 4),
+            "latency_quantiles": quantiles,
+        }
+
     async def _handle_request(self, payload: dict) -> dict:
-        self._stats.count("requests_total")
         op = payload.get("op")
+        _REQUESTS_TOTAL.labels(op=op if op in _KNOWN_OPS else "unknown").inc()
+        _INFLIGHT.inc()
+        try:
+            return await self._dispatch_request(op, payload)
+        finally:
+            _INFLIGHT.dec()
+
+    async def _dispatch_request(self, op: object, payload: dict) -> dict:
+        self._stats.count("requests_total")
         if op == "search":
             return await self._handle_search(payload)
         if op == "stats":
@@ -504,6 +601,7 @@ class SearchServer:
             )
             body.update(self._batch_shape)
             body["cache_size"] = len(self._cache)
+            body["routing"] = self.routing_signals()
             if self._request_log is not None:
                 body["request_log"] = self._request_log.counters()
             return {
@@ -513,6 +611,15 @@ class SearchServer:
                 "sharded": self.sharded,
                 "mode": self.default_mode,
                 "engine": MODE_ENGINE_NAMES[self.default_mode],
+            }
+        if op == "metrics":
+            registry = default_registry()
+            return {
+                "status": "ok",
+                "enabled": metrics_enabled(),
+                "generation": self.generation,
+                "families": registry.collect(),
+                "routing": self.routing_signals(),
             }
         if op == "ping":
             return {"status": "ok", "pong": True, "generation": self.generation}
@@ -633,6 +740,7 @@ class SearchServer:
         except ReproError as exc:
             return {"status": "error", "error": str(exc)}
         trace = bool(payload.get("trace"))
+        _QUEUE_EWMA.set(self._queue_ewma.update(self._batcher.depth))
         epoch = self._epoch
         slots: list = []  # per query: ("hit", QueryResult) | ("miss", Future, key)
         misses = 0
@@ -653,6 +761,7 @@ class SearchServer:
         # describes served traffic even under sustained overload.
         if self._batcher.depth + misses > self._batcher.max_queue:
             self._stats.count("overloaded_total")
+            _OVERLOADED_TOTAL.inc()
             self._log_search(
                 queries, key,
                 latency=loop.time() - arrived, status="overloaded",
@@ -679,6 +788,7 @@ class SearchServer:
             status = "overloaded" if isinstance(exc, Overloaded) else "error"
             if status == "overloaded":
                 self._stats.count("overloaded_total")
+                _OVERLOADED_TOTAL.inc()
             self._log_search(
                 queries, key, latency=loop.time() - arrived, status=status
             )
@@ -746,8 +856,10 @@ class SearchServer:
         if failure is not None:
             self._log_search(queries, key, latency=elapsed, status="error")
             return {"status": "error", "error": str(failure)}
+        request_seconds = _REQUEST_SECONDS.labels(mode=key.mode)
         for _ in queries:
             self._stats.latency.observe(elapsed)
+            request_seconds.observe(elapsed)
         self._stats.qps.mark(len(queries))
         self._stats.count("queries_total", len(queries))
         self._log_search(

@@ -105,6 +105,7 @@ class ServerStats:
         self.latency = LatencyWindow()
         self.qps = RateWindow()
         self.span_seconds: dict[str, float] = {}
+        self.span_counts: dict[str, int] = {}
 
     def count(self, field: str, amount: int = 1) -> None:
         with self._lock:
@@ -122,6 +123,7 @@ class ServerStats:
                 self.span_seconds[name] = (
                     self.span_seconds.get(name, 0.0) + seconds
                 )
+                self.span_counts[name] = self.span_counts.get(name, 0) + 1
 
     def snapshot(self, *, queue_depth: int, generation: int) -> dict:
         with self._lock:
@@ -140,6 +142,12 @@ class ServerStats:
                 "spans_seconds": {
                     name: round(total, 6)
                     for name, total in sorted(self.span_seconds.items())
+                },
+                "spans_count": dict(sorted(self.span_counts.items())),
+                "spans_mean_seconds": {
+                    name: round(total / self.span_counts[name], 6)
+                    for name, total in sorted(self.span_seconds.items())
+                    if self.span_counts.get(name)
                 },
             }
         lookups = hits + misses

@@ -58,6 +58,7 @@ from repro.engine import (
 from repro.errors import ReproError
 from repro.io.database import LocatedHit, SequenceDatabase
 from repro.io.fasta import FastaRecord, parse_fasta_file
+from repro.obs.metrics import Counter, Histogram
 from repro.obs.spans import SPAN_ENGINE, SPAN_LOCATE, add_span
 from repro.scoring.scheme import DEFAULT_SCHEME, ScoringScheme
 from repro.store import IndexStore, default_store_cache
@@ -66,6 +67,23 @@ from repro.store.format import header_prefix_crc
 
 class ServiceError(ReproError):
     """Invalid service configuration or batch input."""
+
+
+# Per-query serving accounting by mode; the engine/locate histograms reuse
+# the spans' perf_counter measurements, so metrics add no extra clock reads
+# to the hot path.
+_QUERIES_TOTAL = Counter(
+    "repro_service_queries_total", "Queries answered by the service layer",
+    ("mode",),
+)
+_ENGINE_SECONDS = Histogram(
+    "repro_service_engine_seconds",
+    "Engine (accumulator) time per query", ("mode",),
+)
+_LOCATE_SECONDS = Histogram(
+    "repro_service_locate_seconds",
+    "Hit location/recovery time per query", ("mode",),
+)
 
 
 def _cells_with_starts(
@@ -567,7 +585,8 @@ class SearchService:
         result = backend.search(
             query.sequence, threshold=threshold, e_value=e_value
         )
-        add_span(result.stats.spans, SPAN_ENGINE, perf_counter() - t0)
+        engine_seconds = perf_counter() - t0
+        add_span(result.stats.spans, SPAN_ENGINE, engine_seconds)
         raw = result.hits.hits()
         t0 = perf_counter()
         located: list[tuple[int, LocatedHit]] = []
@@ -586,7 +605,12 @@ class SearchService:
                 )
             )
         located.sort(key=lambda item: item[0])
-        add_span(result.stats.spans, SPAN_LOCATE, perf_counter() - t0)
+        locate_seconds = perf_counter() - t0
+        add_span(result.stats.spans, SPAN_LOCATE, locate_seconds)
+        served_mode = backend.info.mode
+        _QUERIES_TOTAL.labels(mode=served_mode).inc()
+        _ENGINE_SECONDS.labels(mode=served_mode).observe(engine_seconds)
+        _LOCATE_SECONDS.labels(mode=served_mode).observe(locate_seconds)
         hits = [placed for _pos, placed in located]
         if backend.info.ordering == ORDER_SCORE:
             # Score-ordered backends present a ranked candidate list — the

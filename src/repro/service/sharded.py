@@ -55,6 +55,7 @@ from repro.engine import MODE_ORDERINGS, ORDER_SCORE, check_mode
 from repro.errors import ReproError
 from repro.io.database import LocatedHit
 from repro.io.fasta import parse_fasta_file
+from repro.obs.metrics import Histogram
 from repro.obs.spans import SPAN_ENGINE, SPAN_LOCATE, SPAN_MERGE, add_span, shard_span
 from repro.scoring.scheme import ScoringScheme
 from repro.service.service import (
@@ -69,6 +70,23 @@ from repro.store.sharded import (
     ShardedStore,
     manifest_payload_crc as _payload_crc,
     read_manifest,
+)
+
+# Fan-out accounting per merged query: each shard's work time (engine +
+# locate — the numbers the merge already attributes to trace spans), the
+# fold-in cost, and how many shards each query fanned out to.
+_SHARD_SECONDS = Histogram(
+    "repro_sharded_shard_seconds",
+    "Per-shard work time (engine + locate) per merged query",
+    ("shard",),
+)
+_MERGE_SECONDS = Histogram(
+    "repro_sharded_merge_seconds", "Fan-in merge time per query"
+)
+_FANOUT_QUERIES = Histogram(
+    "repro_sharded_fanout_shards",
+    "Shards each merged query fanned out to",
+    buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0),
 )
 
 
@@ -326,6 +344,7 @@ class ShardedSearchService:
         With ``top_k`` the ranked order is additionally truncated.
         """
         merge_start = perf_counter()
+        _FANOUT_QUERIES.observe(len(per_shard))
         merged: list[tuple[int, int, LocatedHit]] = []
         for shard, result in enumerate(per_shard):
             mapping = self._shard_records[shard]
@@ -359,7 +378,10 @@ class ShardedSearchService:
             if seconds == 0.0:  # process pools may strip spans; fall back
                 seconds = result.stats.elapsed_seconds
             add_span(stats.spans, shard_span(shard), seconds)
-        add_span(stats.spans, SPAN_MERGE, perf_counter() - merge_start)
+            _SHARD_SECONDS.labels(shard=shard).observe(seconds)
+        merge_seconds = perf_counter() - merge_start
+        add_span(stats.spans, SPAN_MERGE, merge_seconds)
+        _MERGE_SECONDS.observe(merge_seconds)
         if "exact_hits" in stats.extra and "verified_hits" in stats.extra:
             # Aggregation summed the per-shard recall *ratios*; the global
             # recall is the ratio of the summed counts (hits are

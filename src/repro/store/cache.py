@@ -16,8 +16,22 @@ from collections import OrderedDict
 from pathlib import Path
 
 from repro.errors import StoreError
+from repro.obs.metrics import Counter
 from repro.store.format import header_prefix_crc
 from repro.store.store import IndexStore
+
+_HITS_TOTAL = Counter(
+    "repro_store_cache_hits_total",
+    "Store-cache lookups answered by an already-open store",
+)
+_MISSES_TOTAL = Counter(
+    "repro_store_cache_misses_total",
+    "Store-cache lookups that opened the store from disk",
+)
+_EVICTIONS_TOTAL = Counter(
+    "repro_store_cache_evictions_total",
+    "Open stores dropped by the store cache (LRU or stale-path)",
+)
 
 
 class StoreCache:
@@ -53,9 +67,12 @@ class StoreCache:
             store = self._entries.get(key)
             if store is not None:
                 self._entries.move_to_end(key)
+                _HITS_TOTAL.inc()
                 return store
+        _MISSES_TOTAL.inc()
         # Open outside the lock: mmap setup should not serialise other hits.
         store = IndexStore.open(path)
+        evicted = 0
         with self._lock:
             existing = self._entries.get(key)
             if existing is not None:
@@ -68,9 +85,13 @@ class StoreCache:
             # would only pin dead mmaps and crowd out live stores.
             for stale in [k for k in self._entries if k[0] == key[0]]:
                 del self._entries[stale]
+                evicted += 1
             self._entries[key] = store
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
+                evicted += 1
+        if evicted:
+            _EVICTIONS_TOTAL.inc(evicted)
         return store
 
     def clear(self) -> None:

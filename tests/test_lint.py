@@ -25,7 +25,9 @@ from repro.cli import main
 REPO = Path(__file__).resolve().parents[1]
 SRC = REPO / "src"
 
-EXPECTED_CODES = {"REP101", "REP201", "REP301", "REP401", "REP501", "REP601"}
+EXPECTED_CODES = {
+    "REP101", "REP201", "REP301", "REP401", "REP501", "REP601", "REP701",
+}
 
 
 def lint_file(tmp_path, rel, source, config=None):
@@ -374,6 +376,78 @@ class TestExportConsistency:
             "from os.path import join\n\n"
             '__all__ = ["join"]  # repro-lint: allow[REP601] -- fixture '
             "facade for this test\n",
+        )
+        assert codes(report) == []
+        assert report.suppressed == 1
+
+
+class TestMetricsRegistration:
+    def test_in_function_construction_flagged(self, tmp_path):
+        report = lint_file(
+            tmp_path,
+            "m.py",
+            "from repro.obs.metrics import Counter\n\n"
+            "def handler():\n"
+            '    c = Counter("x_total", "help")\n'
+            "    c.inc()\n",
+        )
+        assert codes(report) == ["REP701"]
+        assert "module level" in report.findings[0].message
+
+    def test_module_attribute_form_flagged(self, tmp_path):
+        report = lint_file(
+            tmp_path,
+            "m.py",
+            "from repro.obs import metrics\n\n"
+            "def handler():\n"
+            '    metrics.Histogram("x_seconds", "help")\n',
+        )
+        assert codes(report) == ["REP701"]
+        assert "Histogram" in report.findings[0].message
+
+    def test_module_level_construction_is_fine(self, tmp_path):
+        report = lint_file(
+            tmp_path,
+            "m.py",
+            "from repro.obs.metrics import Counter, Gauge\n\n"
+            '_TOTAL = Counter("x_total", "help", ("mode",))\n'
+            '_DEPTH = Gauge("x_depth", "help")\n'
+            "def handler():\n"
+            '    _TOTAL.labels(mode="exact").inc()\n',
+        )
+        assert codes(report) == []
+
+    def test_explicit_registry_kwarg_exempt(self, tmp_path):
+        report = lint_file(
+            tmp_path,
+            "m.py",
+            "from repro.obs.metrics import Counter, MetricsRegistry\n\n"
+            "def make_scratch():\n"
+            "    registry = MetricsRegistry()\n"
+            '    return Counter("x_total", "help", registry=registry)\n'
+            "def unregistered():\n"
+            '    return Counter("y_total", "help", registry=None)\n',
+        )
+        assert codes(report) == []
+
+    def test_unrelated_constructor_names_untouched(self, tmp_path):
+        report = lint_file(
+            tmp_path,
+            "m.py",
+            "from collections import Counter\n\n"
+            "def tally(items):\n"
+            "    return Counter(items)\n",
+        )
+        assert codes(report) == []
+
+    def test_reasoned_suppression_silences(self, tmp_path):
+        report = lint_file(
+            tmp_path,
+            "m.py",
+            "from repro.obs.metrics import Counter\n\n"
+            "def handler():\n"
+            '    Counter("x_total", "h")  # repro-lint: allow[REP701] -- '
+            "fixture exercising the duplicate-registration path\n",
         )
         assert codes(report) == []
         assert report.suppressed == 1
