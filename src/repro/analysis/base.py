@@ -8,7 +8,11 @@ source.  Two scopes exist:
   are local (a truthiness test on a sentinel field is wrong wherever it is);
 * ``project`` checkers see the whole :class:`Project` and catch *drift*
   between files (a wire parameter parsed in ``server.py`` but missing from
-  the cache key in ``cache.py``).
+  the cache key in ``cache.py``);
+* ``flow`` checkers receive the shared
+  :class:`~repro.analysis.flow.FlowIndex` — the resolved call graph with
+  lock identities and held-lock sets — built once per invocation by the
+  runner (REP801/REP802/REP803 all read the same index).
 
 Registration is declarative: defining a checker class decorated with
 :func:`register` adds it to :data:`CHECKERS`, exactly as engine backends
@@ -22,7 +26,7 @@ import ast
 from dataclasses import dataclass, field
 from typing import Iterable, Protocol, runtime_checkable
 
-from repro.analysis.findings import SEVERITY_ERROR, Finding
+from repro.analysis.findings import SEVERITY_ERROR, SEVERITY_WARNING, Finding
 from repro.errors import ReproError
 
 
@@ -61,6 +65,33 @@ class Project:
         matches = [f for f in self.files if f.rel.endswith(suffix)]
         return matches[0] if len(matches) == 1 else None
 
+    def require(
+        self, suffix: str, checker: "BaseChecker"
+    ) -> "tuple[ParsedFile | None, Finding | None]":
+        """Like :meth:`find`, but an *ambiguous* suffix is reported.
+
+        ``find`` returns None both when an anchor file is absent (normal
+        when linting a subtree — the pass just skips) and when two files
+        match (the pass silently checks nothing, which once hid REP301
+        entirely).  ``require`` keeps the silent skip for absence but
+        yields a warning-severity finding naming every match when the
+        anchor is ambiguous, so a duplicated or vendored copy cannot
+        disable a drift gate unnoticed.
+        """
+        matches = [f for f in self.files if f.rel.endswith(suffix)]
+        if len(matches) == 1:
+            return matches[0], None
+        if not matches:
+            return None, None
+        return None, checker.finding(
+            matches[0].rel,
+            1,
+            f"anchor {suffix!r} is ambiguous in this lint run "
+            f"({', '.join(sorted(f.rel for f in matches))}): the "
+            f"{checker.code} pass cannot pick one and checks nothing",
+            SEVERITY_WARNING,
+        )
+
 
 @runtime_checkable
 class Checker(Protocol):
@@ -70,7 +101,7 @@ class Checker(Protocol):
     name: str
     description: str
     origin: str  # the PR where this bug class originally bit
-    scope: str  # "file" or "project"
+    scope: str  # "file", "project" or "flow"
     default_severity: str
 
     def check(
@@ -97,6 +128,16 @@ class BaseChecker:
     scope = "file"
     default_severity = SEVERITY_ERROR
     origin = ""
+
+    def in_scope(self, rel: str, config) -> bool:
+        """Whether ``rel`` counts toward this checker's scanned-file tally.
+
+        Module-scoped checkers override this with their config patterns;
+        the runner's per-checker activity block uses it, so a checker
+        whose scope matches nothing shows ``files: 0`` in CI instead of
+        silently passing.
+        """
+        return True
 
     def finding(
         self, rel: str, line: int, message: str, severity: str

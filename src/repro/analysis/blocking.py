@@ -1,0 +1,66 @@
+"""The blocking-call table shared by REP401 and REP802.
+
+REP401 established the canonical list of "this call parks the thread"
+primitives for the async serving tier; REP802 reuses the same table to
+reason about lock-hold latency, plus the socket surface (the async
+checker never sees raw sockets — the event loop owns them — but a
+worker thread calling ``socket.recv`` while holding a lock is a classic
+tail-latency bug).  Store opens need no entry of their own: the flow
+call graph reaches the ``open()``/``read_bytes`` inside
+``IndexStore.open``/``read_manifest`` transitively.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.astutil import dotted_name
+
+#: ``Path`` content I/O spelled as attribute calls.
+FILE_IO_ATTRS = frozenset(
+    {"read_text", "write_text", "read_bytes", "write_bytes"}
+)
+
+#: Socket attribute calls that park the calling thread.  ``send`` and
+#: ``connect`` are omitted: too many unrelated APIs share those names
+#: (``BaseHTTPRequestHandler.send_response``, catalog ``connect``).
+SOCKET_ATTRS = frozenset({"recv", "recv_into", "sendall", "accept"})
+
+
+def blocking_label(call: ast.Call, is_awaited: bool) -> str | None:
+    """Human label if ``call`` is a known blocking primitive, else None.
+
+    This is REP401's original table: time.sleep, sqlite3, ``open()``,
+    Path content I/O, and un-awaited ``.acquire()``.
+    """
+    name = dotted_name(call.func)
+    if name == "time.sleep":
+        return "time.sleep()"
+    if name is not None and (name.startswith("sqlite3.") or name == "open"):
+        return f"{name}()"
+    if isinstance(call.func, ast.Attribute):
+        if call.func.attr in FILE_IO_ATTRS:
+            return f".{call.func.attr}() file I/O"
+        if call.func.attr == "acquire" and not is_awaited:
+            return "un-awaited .acquire()"
+    return None
+
+
+def flow_blocking_label(call: ast.Call, is_awaited: bool) -> str | None:
+    """REP802's superset: the REP401 table plus the socket surface."""
+    label = blocking_label(call, is_awaited)
+    if label is not None:
+        # a bare .acquire() is an *acquisition* to the flow layer, not a
+        # blocking primitive — the lock-order pass models it instead.
+        if label == "un-awaited .acquire()":
+            return None
+        return label
+    name = dotted_name(call.func)
+    if name is not None and name.startswith("socket."):
+        return f"{name}()"
+    if (
+        isinstance(call.func, ast.Attribute)
+        and call.func.attr in SOCKET_ATTRS
+    ):
+        return f".{call.func.attr}() socket I/O"
+    return None

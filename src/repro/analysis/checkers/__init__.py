@@ -7,20 +7,26 @@ active rule set — a checker missing here is a checker that never runs.
 
 from repro.analysis.checkers import (  # noqa: F401  (import-for-registration)
     async_blocking,
+    blocking_lock,
     cache_key,
     determinism,
     exceptions,
     exports,
+    lock_order,
     metrics_registration,
     sentinel,
+    shared_state,
 )
 
 __all__ = [
     "async_blocking",
+    "blocking_lock",
     "cache_key",
     "determinism",
     "exceptions",
     "exports",
+    "lock_order",
     "metrics_registration",
     "sentinel",
+    "shared_state",
 ]

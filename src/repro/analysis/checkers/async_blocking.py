@@ -26,12 +26,10 @@ from __future__ import annotations
 import ast
 from typing import Iterable
 
-from repro.analysis.astutil import dotted_name
 from repro.analysis.base import BaseChecker, ParsedFile, register
+from repro.analysis.blocking import blocking_label
 from repro.analysis.findings import Finding
 from repro.analysis.astutil import module_path_matches
-
-_FILE_IO_ATTRS = {"read_text", "write_text", "read_bytes", "write_bytes"}
 
 
 def _async_walk(func: ast.AsyncFunctionDef):
@@ -56,8 +54,11 @@ class AsyncBlocking(BaseChecker):
     )
     origin = "PR 4 (the event loop never blocks on alignment work)"
 
+    def in_scope(self, rel: str, config) -> bool:
+        return module_path_matches(rel, config.async_modules)
+
     def check(self, target: ParsedFile, config) -> Iterable[Finding]:
-        if not module_path_matches(target.rel, config.async_modules):
+        if not self.in_scope(target.rel, config):
             return
         severity = config.severity_of(self.code, self.default_severity)
         for node in ast.walk(target.tree):
@@ -75,7 +76,7 @@ class AsyncBlocking(BaseChecker):
             elif isinstance(node, ast.Call):
                 calls.append(node)
         for call in calls:
-            label = self._blocking_label(call, id(call) in awaited)
+            label = blocking_label(call, id(call) in awaited)
             if label is not None:
                 yield self.finding(
                     target.rel,
@@ -85,18 +86,3 @@ class AsyncBlocking(BaseChecker):
                     severity,
                 )
 
-    @staticmethod
-    def _blocking_label(call: ast.Call, is_awaited: bool) -> str | None:
-        name = dotted_name(call.func)
-        if name == "time.sleep":
-            return "time.sleep()"
-        if name is not None and (
-            name.startswith("sqlite3.") or name == "open"
-        ):
-            return f"{name}()"
-        if isinstance(call.func, ast.Attribute):
-            if call.func.attr in _FILE_IO_ATTRS:
-                return f".{call.func.attr}() file I/O"
-            if call.func.attr == "acquire" and not is_awaited:
-                return "un-awaited .acquire()"
-        return None

@@ -1,0 +1,87 @@
+"""REP802 blocking-under-lock: lock-hold latency is tail latency.
+
+Every lock in the serving path guards a few dict operations and is held
+for microseconds — until someone slips a ``read_manifest`` or a
+``time.sleep`` retry loop inside the ``with``.  Then every thread that
+touches the same lock inherits the I/O latency, and p99 explodes under
+load with no error anywhere.  This checker walks each function that
+*acquires* a lock and reports any blocking primitive (REP401's table
+plus sockets; store opens are reached transitively through the call
+graph) reachable while the lock is held — either directly in the
+``with`` body or through a resolved call chain, which the message
+spells out.
+
+Findings anchor inside the acquiring function (the call or blocking
+site under the ``with``), so a justified exception — the server's
+drain-and-swap reload deliberately reopens the store under the pause
+lock — is suppressed exactly where the design decision lives.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.base import BaseChecker, register
+from repro.analysis.findings import Finding
+from repro.analysis.flow.graph import FlowIndex
+from repro.analysis.flow.summary import FunctionSummary
+
+
+def _short(qualname: str) -> str:
+    return qualname.rsplit("::", 1)[-1]
+
+
+@register
+class BlockingUnderLock(BaseChecker):
+    code = "REP802"
+    name = "blocking-under-lock"
+    description = (
+        "no blocking primitive (sleep, socket, sqlite, file I/O, store "
+        "open) may be reachable while a lock is held"
+    )
+    origin = "PR 4 (the event loop never blocks on alignment work)"
+    scope = "flow"
+
+    def check(self, target: FlowIndex, config) -> Iterable[Finding]:
+        severity = config.severity_of(self.code, self.default_severity)
+        for qual in sorted(target.summaries):
+            summary = target.summaries[qual]
+            if not summary.acquires:
+                continue
+            yield from self._check_function(target, summary, severity)
+
+    def _check_function(
+        self, index: FlowIndex, summary: FunctionSummary, severity: str
+    ) -> Iterable[Finding]:
+        reported: set[int] = set()
+        # direct blocking inside a lock-holding region
+        for block in summary.blocking:
+            held = index.held_idents(summary, block.held)
+            if held and block.line not in reported:
+                reported.add(block.line)
+                yield self.finding(
+                    summary.rel,
+                    block.line,
+                    f"{block.label} while holding {', '.join(held)}: "
+                    f"lock-hold latency is tail latency — move the I/O "
+                    f"outside the lock",
+                    severity,
+                )
+        # calls under the lock that reach a blocking primitive
+        for edge in index.edges.get(summary.qualname, ()):
+            if not edge.held or edge.line in reported:
+                continue
+            witness = index.block_witness.get(edge.callee)
+            if witness is None:
+                continue
+            reported.add(edge.line)
+            chain = " -> ".join(_short(q) for q in witness.chain)
+            yield self.finding(
+                summary.rel,
+                edge.line,
+                f"call to {_short(edge.callee)} while holding "
+                f"{', '.join(edge.held)} reaches {witness.label} "
+                f"(via {chain} at {witness.rel}:{witness.line}): "
+                f"lock-hold latency is tail latency",
+                severity,
+            )

@@ -21,8 +21,10 @@ This cross-file pass re-derives the contract from the AST on every run:
 * the log schema — entries of ``REQUEST_COLUMNS`` (``obs/reqlog.py``).
 
 Every wire field must appear in all three.  Counterpart files absent from
-the lint target set are skipped (linting a subtree stays possible); the CI
-gate lints ``src/`` whole, where all four are present.
+the lint target set are skipped (linting a subtree stays possible), but an
+*ambiguous* anchor — two files matching a suffix — warns via
+:meth:`Project.require` instead of silently checking nothing; the CI gate
+lints ``src/`` whole, where all four are present and unique.
 """
 
 from __future__ import annotations
@@ -100,9 +102,22 @@ class CacheKeyDrift(BaseChecker):
     origin = "PR 6 (the mode slot was hand-threaded through all three)"
     scope = "project"
 
+    def in_scope(self, rel: str, config) -> bool:
+        return any(
+            rel.endswith(suffix)
+            for suffix in (
+                "server/server.py",
+                "server/batcher.py",
+                "server/cache.py",
+                "obs/reqlog.py",
+            )
+        )
+
     def check(self, target: Project, config) -> Iterable[Finding]:
         severity = config.severity_of(self.code, self.default_severity)
-        server = target.find("server/server.py")
+        server, problem = target.require("server/server.py", self)
+        if problem is not None:
+            yield problem
         if server is None:
             return
         wire: dict[str, int] = {}
@@ -127,7 +142,9 @@ class CacheKeyDrift(BaseChecker):
     def _check_batch_key(
         self, project: Project, params: dict, severity: str
     ) -> Iterable[Finding]:
-        batcher = project.find("server/batcher.py")
+        batcher, problem = project.require("server/batcher.py", self)
+        if problem is not None:
+            yield problem
         if batcher is None:
             return
         cls = _class_def(batcher.tree, "BatchKey")
@@ -151,7 +168,9 @@ class CacheKeyDrift(BaseChecker):
     def _check_cache_key(
         self, project: Project, params: dict, severity: str
     ) -> Iterable[Finding]:
-        cache = project.find("server/cache.py")
+        cache, problem = project.require("server/cache.py", self)
+        if problem is not None:
+            yield problem
         if cache is None:
             return
         cls = _class_def(cache.tree, "ResultCache")
@@ -175,7 +194,9 @@ class CacheKeyDrift(BaseChecker):
     def _check_request_log(
         self, project: Project, params: dict, severity: str
     ) -> Iterable[Finding]:
-        reqlog = project.find("obs/reqlog.py")
+        reqlog, problem = project.require("obs/reqlog.py", self)
+        if problem is not None:
+            yield problem
         if reqlog is None:
             return
         columns = None

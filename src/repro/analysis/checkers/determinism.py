@@ -44,8 +44,11 @@ class Determinism(BaseChecker):
     )
     origin = "PR 7 (replay plans are committed and byte-diffed)"
 
+    def in_scope(self, rel: str, config) -> bool:
+        return module_path_matches(rel, config.deterministic_modules)
+
     def check(self, target: ParsedFile, config) -> Iterable[Finding]:
-        if not module_path_matches(target.rel, config.deterministic_modules):
+        if not self.in_scope(target.rel, config):
             return
         severity = config.severity_of(self.code, self.default_severity)
         for node in ast.walk(target.tree):

@@ -1,0 +1,118 @@
+"""REP801 lock-order: every pair of locks is taken in one global order.
+
+A deadlock needs no traffic spike to reproduce — two threads, two
+locks, opposite order, and the server hangs with zero CPU and no
+traceback.  The flow index already knows every acquisition site and
+which locks are held on entry to every function (propagated along the
+call graph), so this checker only has to read the lock-acquisition
+order graph it built: an edge ``A -> B`` means "B was acquired
+somewhere while A was held".  Any cycle among those edges is a
+potential deadlock; the finding names both acquisition sites so the
+fix (pick one order, or collapse to one lock) is mechanical.
+
+Re-entrancy is modeled: re-acquiring an ``RLock`` is legal and makes
+no edge (the store's ``_materialize_lock`` does this on purpose);
+re-acquiring a plain ``Lock`` or an ``asyncio.Lock`` on some path is
+reported — both self-deadlock.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.base import BaseChecker, register
+from repro.analysis.findings import Finding
+from repro.analysis.flow.graph import FlowIndex, OrderEdge
+
+
+def _cycle_components(edges: "list[OrderEdge]") -> "list[list[str]]":
+    """Strongly connected components with >1 node, sorted."""
+    adjacency: dict[str, list[str]] = {}
+    for edge in edges:
+        adjacency.setdefault(edge.first, []).append(edge.second)
+        adjacency.setdefault(edge.second, [])
+    index_of: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    components: list[list[str]] = []
+    counter = [0]
+
+    def strongconnect(node: str) -> None:
+        index_of[node] = low[node] = counter[0]
+        counter[0] += 1
+        stack.append(node)
+        on_stack.add(node)
+        for succ in adjacency[node]:
+            if succ not in index_of:
+                strongconnect(succ)
+                low[node] = min(low[node], low[succ])
+            elif succ in on_stack:
+                low[node] = min(low[node], index_of[succ])
+        if low[node] == index_of[node]:
+            component = []
+            while True:
+                member = stack.pop()
+                on_stack.discard(member)
+                component.append(member)
+                if member == node:
+                    break
+            if len(component) > 1:
+                components.append(sorted(component))
+
+    for node in sorted(adjacency):
+        if node not in index_of:
+            strongconnect(node)
+    return sorted(components)
+
+
+@register
+class LockOrder(BaseChecker):
+    code = "REP801"
+    name = "lock-order"
+    description = (
+        "locks must be acquired in one global order: a cycle in the "
+        "acquisition-order graph is a potential deadlock"
+    )
+    origin = "PR 9 (a per-metric lock on every hot-path counter)"
+    scope = "flow"
+
+    def check(self, target: FlowIndex, config) -> Iterable[Finding]:
+        severity = config.severity_of(self.code, self.default_severity)
+        edges = target.order_edges
+        # self-deadlock: a non-reentrant lock re-acquired on some path
+        # (RLock/assigned self-edges never enter the order graph)
+        for edge in edges:
+            if edge.first == edge.second:
+                yield self.finding(
+                    edge.rel,
+                    edge.line,
+                    f"non-reentrant lock {edge.second} acquired at "
+                    f"{edge.rel}:{edge.line} while already held (taken at "
+                    f"{edge.first_rel}:{edge.first_line}): this path "
+                    f"self-deadlocks",
+                    severity,
+                )
+        for component in _cycle_components(
+            [e for e in edges if e.first != e.second]
+        ):
+            members = set(component)
+            cycle_edges = sorted(
+                (e for e in edges if e.first in members and e.second in members),
+                key=lambda e: (e.rel, e.line, e.first, e.second),
+            )
+            sites = "; ".join(
+                f"{e.second.rsplit('::', 1)[-1]} taken at {e.rel}:{e.line} "
+                f"while holding {e.first.rsplit('::', 1)[-1]} "
+                f"(taken at {e.first_rel}:{e.first_line})"
+                for e in cycle_edges
+            )
+            anchor = cycle_edges[0]
+            yield self.finding(
+                anchor.rel,
+                anchor.line,
+                f"lock-order cycle between {', '.join(component)}: {sites} "
+                f"— two threads on opposite paths deadlock; pick one "
+                f"acquisition order",
+                severity,
+            )

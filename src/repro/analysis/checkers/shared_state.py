@@ -1,0 +1,167 @@
+"""REP803 unguarded-shared-state: cross-thread attributes need one lock.
+
+The reqlog writer thread, the server's ``ServerThread``, and the
+executor pools all mutate object attributes that the main path reads.
+When both sides hold the same lock that is invisible maintenance cost;
+when neither does it is a data race that only shows up as a corrupted
+counter or a torn read under production load.  This checker uses the
+flow index to find instance attributes that are **written from a
+thread-entry path** and **accessed from code no thread reaches**, then
+demands one common lock across every such site.
+
+Construction is exempt (``__init__`` happens-before the thread start),
+lock attributes and methods are exempt, and intentionally lock-free
+designs — the reqlog deque with its single-writer counters, the
+``Event``-published server-thread handshake — carry inline
+``repro-lint: allow[REP803]`` suppressions whose reasons document the
+happens-before argument.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.base import BaseChecker, register
+from repro.analysis.findings import Finding
+from repro.analysis.flow.graph import FlowIndex, _lock_ident_filter
+from repro.analysis.flow.summary import Access, FunctionSummary
+
+
+#: Attribute types that synchronize internally — flagging an Event or a
+#: Queue would demand a lock around a lock.  (A ``deque`` is *not* here:
+#: its single-op atomicity is a CPython detail the reqlog documents with
+#: an explicit suppression instead.)
+SELF_SYNCHRONIZED = frozenset(
+    {
+        "threading.Event",
+        "threading.Barrier",
+        "asyncio.Event",
+        "queue.Queue",
+        "queue.SimpleQueue",
+        "queue.LifoQueue",
+        "queue.PriorityQueue",
+        "multiprocessing.Queue",
+    }
+)
+
+
+def _in_init(summary: FunctionSummary) -> bool:
+    return summary.name == "__init__" or ".__init__." in summary.qualname
+
+
+@register
+class UnguardedSharedState(BaseChecker):
+    code = "REP803"
+    name = "unguarded-shared-state"
+    description = (
+        "an attribute written on a thread-entry path and accessed "
+        "elsewhere must be guarded by one common lock at every site"
+    )
+    origin = "PR 7 (the reqlog writer thread is lock-free by design)"
+    scope = "flow"
+
+    def check(self, target: FlowIndex, config) -> Iterable[Finding]:
+        severity = config.severity_of(self.code, self.default_severity)
+        by_class: dict[tuple[str, str], list[FunctionSummary]] = {}
+        for qual in sorted(target.summaries):
+            summary = target.summaries[qual]
+            if summary.cls is None or _in_init(summary):
+                continue
+            by_class.setdefault(
+                (summary.cls.rel, summary.cls.name), []
+            ).append(summary)
+        for key in sorted(by_class):
+            yield from self._check_class(target, by_class[key], severity)
+
+    @staticmethod
+    def _own_thread_roots(
+        index: FlowIndex, cls, qualname: str
+    ) -> "tuple[str, ...]":
+        """Entry roots reaching ``qualname`` that are methods of ``cls``.
+
+        A write only counts as thread-side when the class *threads
+        itself* (the reqlog's writer, the server thread's ``_run``, an
+        executor submit of its own method).  When some other class runs
+        the whole object graph on its thread — ``ServerThread`` running
+        the asyncio server — every unresolvable dynamic dispatch (RPC
+        handlers, batcher callbacks) actually runs on that same thread,
+        so "accessed elsewhere" would be noise, not signal.
+        """
+        roots = []
+        for root in index.thread_origins.get(qualname, ()):
+            root_cls = index.summaries[root].cls
+            if (
+                root_cls is not None
+                and root_cls.rel == cls.rel
+                and root_cls.name == cls.name
+            ):
+                roots.append(root)
+        return tuple(roots)
+
+    def _check_class(
+        self,
+        index: FlowIndex,
+        summaries: "list[FunctionSummary]",
+        severity: str,
+    ) -> Iterable[Finding]:
+        cls = summaries[0].cls
+        module = index.symbols.modules.get(cls.rel)
+        lock_attrs = _lock_ident_filter(index, cls)
+        sites: dict[str, list[tuple[FunctionSummary, Access]]] = {}
+        for summary in summaries:
+            for access in summary.accesses:
+                if access.attr in lock_attrs or access.attr in cls.methods:
+                    continue
+                type_token = cls.attr_types.get(access.attr)
+                if (
+                    type_token is not None
+                    and module is not None
+                    and module.expand(type_token) in SELF_SYNCHRONIZED
+                ):
+                    continue
+                sites.setdefault(access.attr, []).append((summary, access))
+        for attr in sorted(sites):
+            pairs = sites[attr]
+            thread_writes = [
+                (s, a)
+                for s, a in pairs
+                if a.kind == "write"
+                and self._own_thread_roots(index, cls, s.qualname)
+            ]
+            elsewhere = [
+                (s, a)
+                for s, a in pairs
+                if s.qualname not in index.thread_reachable
+            ]
+            if not thread_writes or not elsewhere:
+                continue
+            involved = thread_writes + elsewhere
+            guards = [
+                set(index.held_idents(s, a.held)) for s, a in involved
+            ]
+            common = set.intersection(*guards)
+            if common:
+                continue
+            anchor_summary, anchor = min(
+                (
+                    (s, a)
+                    for (s, a), g in zip(involved, guards)
+                    if not g
+                ),
+                key=lambda pair: (pair[0].rel, pair[1].line),
+                default=thread_writes[0],
+            )
+            writer, write = thread_writes[0]
+            other, other_access = elsewhere[0]
+            root = self._own_thread_roots(index, cls, writer.qualname)[0]
+            yield self.finding(
+                anchor_summary.rel,
+                anchor.line,
+                f"attribute '{attr}' of {cls.name} is written at "
+                f"{writer.rel}:{write.line} on a thread path entered via "
+                f"{root.rsplit('::', 1)[-1]} and accessed at "
+                f"{other.rel}:{other_access.line} with no common lock "
+                f"across the sites: guard both with one lock or suppress "
+                f"with the happens-before reason",
+                severity,
+            )

@@ -1,0 +1,35 @@
+"""Project-wide semantic layer for concurrency checkers.
+
+``build_flow_index`` turns a :class:`~repro.analysis.base.Project` into
+a :class:`FlowIndex`: per-class lock identities, per-function summaries
+(acquisitions, calls, attribute accesses, blocking primitives), a
+resolved call graph with thread-entry roots, propagated held-lock sets,
+and the lock-acquisition order graph.  The runner builds it once per
+invocation and hands it to every checker whose ``scope`` is ``"flow"``
+(REP801 lock-order, REP802 blocking-under-lock, REP803
+unguarded-shared-state).
+"""
+
+from repro.analysis.flow.graph import (
+    BlockWitness,
+    Edge,
+    FlowIndex,
+    OrderEdge,
+    RootSite,
+    build_flow_index,
+)
+from repro.analysis.flow.symbols import LockDecl, SymbolTable, build_symbols
+from repro.analysis.flow.summary import FunctionSummary
+
+__all__ = [
+    "BlockWitness",
+    "Edge",
+    "FlowIndex",
+    "FunctionSummary",
+    "LockDecl",
+    "OrderEdge",
+    "RootSite",
+    "SymbolTable",
+    "build_flow_index",
+    "build_symbols",
+]

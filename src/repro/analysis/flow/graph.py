@@ -1,0 +1,552 @@
+"""The FlowIndex: resolved call graph, lock identities, held-set flow.
+
+Built once per lint invocation from the symbol tables and function
+summaries, then shared by every flow-scope checker:
+
+* **call edges** — each syntactic call token resolved to a project
+  function: ``self.m`` through the class MRO, ``self.x.m`` through the
+  recorded attribute type, bare names through module functions then the
+  import map (with one-hop re-export chasing through package
+  ``__init__``s), ``ClassName(...)`` to ``__init__``.  Unresolvable
+  tokens (stdlib, chained calls) simply produce no edge — the analysis
+  is deliberately under-approximate on calls and precise on locks;
+* **lock resolution** — ``self._lock`` to the constructor-seeded
+  :class:`LockDecl` of the defining class (walking bases, so every
+  ``_CounterChild`` shares the ``_Child`` identity); unseeded
+  attributes that *look* like locks (``lock`` in the name) get an
+  ``assigned`` identity so ``with self._lock:`` over an injected lock
+  still orders; anything else is not a lock;
+* **thread-entry roots** — targets of ``Thread(target=)``, ``submit``
+  and ``run_in_executor`` registrations, plus which functions are
+  reachable from them;
+* **entry-held sets** — a fixed point propagating "locks possibly held
+  by some caller on entry", with one provenance site per (function,
+  lock) so reports can name where the lock was actually taken;
+* **lock-order edges** — ``A -> B`` whenever B is acquired while A is
+  held (entry-held or locally), each edge carrying both sites; cycles
+  among them are REP801's deadlocks (RLock self-edges are legal
+  re-entrancy and carry no edge);
+* **blocking reachability** — which functions can reach a blocking
+  primitive, with a witness call chain for REP802's messages.
+
+Everything is ordered: dict iteration is over sorted qualnames, sets
+are materialized sorted, so ``to_json`` is byte-identical across runs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.analysis.base import Project
+from repro.analysis.flow.symbols import (
+    ClassTable,
+    LockDecl,
+    ModuleTable,
+    SymbolTable,
+    build_symbols,
+)
+from repro.analysis.flow.summary import FunctionSummary, summarize_module
+
+_RESOLVE_DEPTH = 6
+
+
+@dataclass(frozen=True)
+class Edge:
+    caller: str
+    callee: str
+    line: int
+    held: tuple[str, ...]  # lock identities held at the call site
+    kind: str  # "call" | "run_in_executor"
+
+
+@dataclass(frozen=True)
+class RootSite:
+    registered_by: str
+    line: int
+    via: str  # "thread" | "submit" | "run_in_executor"
+
+
+@dataclass(frozen=True)
+class OrderEdge:
+    """``second`` acquired while ``first`` was held."""
+
+    first: str
+    second: str
+    rel: str
+    line: int  # where ``second`` was acquired
+    first_rel: str
+    first_line: int  # where ``first`` was acquired
+
+
+@dataclass(frozen=True)
+class BlockWitness:
+    label: str
+    rel: str
+    line: int
+    chain: tuple[str, ...]  # qualnames from the queried function inward
+
+
+@dataclass
+class FlowIndex:
+    project: Project
+    symbols: SymbolTable
+    summaries: dict[str, FunctionSummary]
+    edges: dict[str, list[Edge]] = field(default_factory=dict)
+    thread_roots: dict[str, list[RootSite]] = field(default_factory=dict)
+    thread_reachable: set[str] = field(default_factory=set)
+    #: reachable function -> every thread-entry root it descends from
+    thread_origins: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    locks: dict[str, LockDecl] = field(default_factory=dict)
+    #: qualname -> lock ident -> provenance (rel, line) of an acquisition
+    entry_held: dict[str, dict[str, tuple[str, int]]] = field(
+        default_factory=dict
+    )
+    order_edges: list[OrderEdge] = field(default_factory=list)
+    #: qualname -> nearest blocking witness (None if unreachable)
+    block_witness: dict[str, BlockWitness] = field(default_factory=dict)
+
+    # -- resolution ------------------------------------------------------
+
+    def resolve_class(
+        self, module: ModuleTable, token: str, _depth: int = 0
+    ) -> ClassTable | None:
+        if _depth > _RESOLVE_DEPTH:
+            return None
+        expanded = module.expand(token)
+        if "." not in token and token in module.classes:
+            return module.classes[token]
+        head, _, tail = expanded.rpartition(".")
+        if not head:
+            return None
+        owner = self.symbols.module_for_dotted(head)
+        if owner is None:
+            return None
+        if tail in owner.classes:
+            return owner.classes[tail]
+        if tail in owner.imports:  # re-export
+            return self.resolve_class(owner, tail, _depth + 1)
+        return None
+
+    def _method_qualname(
+        self, cls: ClassTable, name: str, _seen: frozenset = frozenset()
+    ) -> str | None:
+        if cls.name in _seen:
+            return None
+        if name in cls.methods:
+            qual = f"{cls.rel}::{cls.name}.{name}"
+            return qual if qual in self.summaries else None
+        module = self.symbols.modules.get(cls.rel)
+        if module is None:
+            return None
+        for base in cls.bases:
+            base_cls = self.resolve_class(module, base)
+            if base_cls is not None:
+                found = self._method_qualname(
+                    base_cls, name, _seen | {cls.name}
+                )
+                if found is not None:
+                    return found
+        return None
+
+    def _lock_decl_for_attr(
+        self, cls: ClassTable, attr: str, _seen: frozenset = frozenset()
+    ) -> "LockDecl | None":
+        """Seeded decl via MRO; synthesized for assigned lock-ish attrs."""
+        if cls.name in _seen:
+            return None
+        if attr in cls.locks:
+            return cls.locks[attr]
+        module = self.symbols.modules.get(cls.rel)
+        if module is not None:
+            for base in cls.bases:
+                base_cls = self.resolve_class(module, base)
+                if base_cls is not None:
+                    found = self._lock_decl_for_attr(
+                        base_cls, attr, _seen | {cls.name}
+                    )
+                    if found is not None:
+                        return found
+        if attr in cls.assigned and "lock" in attr.lower():
+            return LockDecl(
+                ident=f"{cls.rel}::{cls.name}.{attr}",
+                kind="assigned",
+                rel=cls.rel,
+                line=cls.assigned[attr],
+            )
+        return None
+
+    def resolve_lock(
+        self, summary: FunctionSummary, token: str
+    ) -> "LockDecl | None":
+        parts = token.split(".")
+        if parts[0] == "self":
+            if len(parts) != 2 or summary.cls is None:
+                return None
+            return self._lock_decl_for_attr(summary.cls, parts[1])
+        if len(parts) == 1:
+            module = summary.module
+            for _ in range(_RESOLVE_DEPTH):
+                decl = module.global_locks.get(parts[0])
+                if decl is not None:
+                    return decl
+                target = module.imports.get(parts[0])
+                if target is None:
+                    return None
+                head, _, tail = target.rpartition(".")
+                owner = self.symbols.module_for_dotted(head) if head else None
+                if owner is None:
+                    return None
+                module, parts = owner, [tail]
+        return None
+
+    def resolve_call(
+        self, summary: FunctionSummary, token: str
+    ) -> str | None:
+        """Qualname of the summarized function ``token`` calls, or None."""
+        parts = token.split(".")
+        if parts[0] == "self":
+            if summary.cls is None:
+                return None
+            if len(parts) == 2:
+                return self._method_qualname(summary.cls, parts[1])
+            if len(parts) == 3:
+                type_token = summary.cls.attr_types.get(parts[1])
+                if type_token is None:
+                    return None
+                cls = self.resolve_class(summary.module, type_token)
+                if cls is None:
+                    return None
+                return self._method_qualname(cls, parts[2])
+            return None
+        if len(parts) == 1:
+            local = summary.local_defs.get(parts[0])
+            if local is not None:
+                return local
+            return self._resolve_in_module(summary.module, parts[0])
+        # NAME.m where NAME is a module-level instance
+        type_token = summary.module.global_types.get(parts[0])
+        if type_token is not None and len(parts) == 2:
+            cls = self.resolve_class(summary.module, type_token)
+            if cls is not None:
+                return self._method_qualname(cls, parts[1])
+            return None
+        return self._resolve_dotted(summary.module.expand(token))
+
+    def _resolve_in_module(
+        self, module: ModuleTable, name: str, _depth: int = 0
+    ) -> str | None:
+        if _depth > _RESOLVE_DEPTH:
+            return None
+        if name in module.functions:
+            qual = f"{module.rel}::{name}"
+            return qual if qual in self.summaries else None
+        if name in module.classes:
+            return self._method_qualname(module.classes[name], "__init__")
+        target = module.imports.get(name)
+        if target is not None:
+            return self._resolve_dotted(target, _depth + 1)
+        return None
+
+    def _resolve_dotted(self, dotted: str, _depth: int = 0) -> str | None:
+        if _depth > _RESOLVE_DEPTH or "." not in dotted:
+            return None
+        head, _, tail = dotted.rpartition(".")
+        owner = self.symbols.module_for_dotted(head)
+        if owner is not None:
+            return self._resolve_in_module(owner, tail, _depth + 1)
+        # maybe the tail is Class.method with the module one level up
+        mod_head, _, cls_name = head.rpartition(".")
+        if mod_head:
+            owner = self.symbols.module_for_dotted(mod_head)
+            if owner is not None and cls_name in owner.classes:
+                return self._method_qualname(owner.classes[cls_name], tail)
+        return None
+
+    def held_idents(
+        self, summary: FunctionSummary, tokens: "tuple[str, ...]"
+    ) -> tuple[str, ...]:
+        out = []
+        for token in tokens:
+            decl = self.resolve_lock(summary, token)
+            if decl is not None and decl.ident not in out:
+                out.append(decl.ident)
+        return tuple(out)
+
+    # -- serialization ---------------------------------------------------
+
+    def to_json(self) -> str:
+        doc = {
+            "locks": [
+                {
+                    "ident": decl.ident,
+                    "kind": decl.kind,
+                    "line": decl.line,
+                }
+                for _, decl in sorted(self.locks.items())
+            ],
+            "functions": [
+                {
+                    "qualname": qual,
+                    "acquires": [
+                        {
+                            "lock": (
+                                self.resolve_lock(s, a.token).ident
+                                if self.resolve_lock(s, a.token)
+                                else a.token
+                            ),
+                            "line": a.line,
+                            "via": a.via,
+                        }
+                        for a in s.acquires
+                    ],
+                    "entry_held": sorted(self.entry_held.get(qual, ())),
+                    "blocking": [
+                        {"label": b.label, "line": b.line} for b in s.blocking
+                    ],
+                    "thread_root": qual in self.thread_roots,
+                }
+                for qual, s in sorted(self.summaries.items())
+            ],
+            "edges": [
+                {
+                    "caller": e.caller,
+                    "callee": e.callee,
+                    "line": e.line,
+                    "held": list(e.held),
+                    "kind": e.kind,
+                }
+                for qual in sorted(self.edges)
+                for e in self.edges[qual]
+            ],
+            "thread_roots": [
+                {
+                    "qualname": qual,
+                    "sites": [
+                        {
+                            "registered_by": site.registered_by,
+                            "line": site.line,
+                            "via": site.via,
+                        }
+                        for site in sites
+                    ],
+                }
+                for qual, sites in sorted(self.thread_roots.items())
+            ],
+            "lock_order_edges": [
+                {
+                    "first": e.first,
+                    "second": e.second,
+                    "site": f"{e.rel}:{e.line}",
+                    "first_site": f"{e.first_rel}:{e.first_line}",
+                }
+                for e in self.order_edges
+            ],
+        }
+        return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def _lock_ident_filter(index: FlowIndex, cls: ClassTable) -> set[str]:
+    """Attr names of ``cls`` that resolve to locks (MRO included)."""
+    out = set()
+    for attr in set(cls.assigned) | set(cls.locks):
+        if index._lock_decl_for_attr(cls, attr) is not None:
+            out.add(attr)
+    return out
+
+
+def build_flow_index(project: Project) -> FlowIndex:
+    symbols = build_symbols(project)
+    summaries: dict[str, FunctionSummary] = {}
+    for parsed in project.files:
+        module = symbols.modules[parsed.rel]
+        summaries.update(summarize_module(module, parsed.tree))
+    index = FlowIndex(project=project, symbols=symbols, summaries=summaries)
+
+    # lock declarations (+ any synthesized "assigned" identities that
+    # actually get acquired, discovered while resolving acquisitions)
+    for module in symbols.modules.values():
+        for decl in module.global_locks.values():
+            index.locks[decl.ident] = decl
+        for cls in module.classes.values():
+            for decl in cls.locks.values():
+                index.locks[decl.ident] = decl
+
+    # call edges + thread roots
+    for qual in sorted(summaries):
+        summary = summaries[qual]
+        edges: list[Edge] = []
+        for call in summary.calls:
+            callee = index.resolve_call(summary, call.token)
+            if callee is not None:
+                edges.append(
+                    Edge(
+                        caller=qual,
+                        callee=callee,
+                        line=call.line,
+                        held=index.held_idents(summary, call.held),
+                        kind="call",
+                    )
+                )
+        for target in summary.thread_targets:
+            callee = index.resolve_call(summary, target.token)
+            if callee is None:
+                continue
+            index.thread_roots.setdefault(callee, []).append(
+                RootSite(registered_by=qual, line=target.line, via=target.via)
+            )
+            if target.via == "run_in_executor" and target.awaited:
+                # the caller parks on the future: its locks are held for
+                # the callee's whole run, so this is also a call edge
+                edges.append(
+                    Edge(
+                        caller=qual,
+                        callee=callee,
+                        line=target.line,
+                        held=index.held_idents(summary, target.held),
+                        kind="run_in_executor",
+                    )
+                )
+        index.edges[qual] = edges
+        for acq in summary.acquires:
+            decl = index.resolve_lock(summary, acq.token)
+            if decl is not None:
+                index.locks.setdefault(decl.ident, decl)
+
+    # thread reachability, tracking every entry root a function descends
+    # from (REP803 scopes writes by the root's class)
+    origins: dict[str, set[str]] = {
+        qual: {qual} for qual in index.thread_roots
+    }
+    frontier = sorted(origins)
+    while frontier:
+        next_frontier: set[str] = set()
+        for qual in frontier:
+            for edge in index.edges.get(qual, ()):
+                target = origins.setdefault(edge.callee, set())
+                if not origins[qual] <= target:
+                    target |= origins[qual]
+                    next_frontier.add(edge.callee)
+        frontier = sorted(next_frontier)
+    index.thread_reachable = set(origins)
+    index.thread_origins = {
+        qual: tuple(sorted(roots)) for qual, roots in origins.items()
+    }
+
+    # entry-held fixed point with provenance
+    entry: dict[str, dict[str, tuple[str, int]]] = {
+        qual: {} for qual in summaries
+    }
+    index.entry_held = entry  # aliased now: the provenance helper reads it
+    worklist = sorted(summaries)
+    in_list = set(worklist)
+    while worklist:
+        qual = worklist.pop(0)
+        in_list.discard(qual)
+        summary = summaries[qual]
+        incoming = entry[qual]
+        for edge in index.edges.get(qual, ()):
+            if edge.callee not in entry:
+                continue
+            target = entry[edge.callee]
+            changed = False
+            carried = dict(incoming)
+            for ident in edge.held:
+                prov = _acquisition_site(index, summary, ident)
+                carried[ident] = prov or (summary.rel, edge.line)
+            for ident, prov in sorted(carried.items()):
+                if ident not in target:
+                    target[ident] = prov
+                    changed = True
+            if changed and edge.callee not in in_list:
+                worklist.append(edge.callee)
+                in_list.add(edge.callee)
+
+    # lock-order edges
+    order: list[OrderEdge] = []
+    for qual in sorted(summaries):
+        summary = summaries[qual]
+        for acq in summary.acquires:
+            decl = index.resolve_lock(summary, acq.token)
+            if decl is None:
+                continue
+            held_now: dict[str, tuple[str, int]] = dict(
+                entry[qual]
+            )
+            for token in acq.held:
+                inner = index.resolve_lock(summary, token)
+                if inner is not None:
+                    site = _local_acquire_line(summary, token)
+                    held_now[inner.ident] = (summary.rel, site)
+            for first, (first_rel, first_line) in sorted(held_now.items()):
+                if first == decl.ident:
+                    kind = index.locks[first].kind
+                    if kind in ("rlock", "assigned"):
+                        continue  # legal re-entrancy / aliasing risk
+                order.append(
+                    OrderEdge(
+                        first=first,
+                        second=decl.ident,
+                        rel=summary.rel,
+                        line=acq.line,
+                        first_rel=first_rel,
+                        first_line=first_line,
+                    )
+                )
+    index.order_edges = sorted(
+        set(order),
+        key=lambda e: (e.first, e.second, e.rel, e.line),
+    )
+
+    # blocking reachability witnesses (shortest-first BFS per function
+    # would be costly; a reverse fixed point gives one stable witness)
+    witness: dict[str, BlockWitness] = {}
+    for qual in sorted(summaries):
+        summary = summaries[qual]
+        if summary.blocking:
+            block = min(summary.blocking, key=lambda b: b.line)
+            witness[qual] = BlockWitness(
+                label=block.label,
+                rel=summary.rel,
+                line=block.line,
+                chain=(qual,),
+            )
+    changed = True
+    while changed:
+        changed = False
+        for qual in sorted(summaries):
+            if qual in witness:
+                continue
+            for edge in sorted(
+                index.edges.get(qual, ()), key=lambda e: e.line
+            ):
+                hit = witness.get(edge.callee)
+                if hit is not None and qual not in hit.chain:
+                    witness[qual] = BlockWitness(
+                        label=hit.label,
+                        rel=hit.rel,
+                        line=hit.line,
+                        chain=(qual,) + hit.chain,
+                    )
+                    changed = True
+                    break
+    index.block_witness = witness
+    return index
+
+
+def _acquisition_site(
+    index: FlowIndex, summary: FunctionSummary, ident: str
+) -> "tuple[str, int] | None":
+    for acq in summary.acquires:
+        decl = index.resolve_lock(summary, acq.token)
+        if decl is not None and decl.ident == ident:
+            return summary.rel, acq.line
+    prov = index.entry_held.get(summary.qualname, {}).get(ident)
+    return prov
+
+
+def _local_acquire_line(summary: FunctionSummary, token: str) -> int:
+    for acq in summary.acquires:
+        if acq.token == token:
+            return acq.line
+    return summary.line

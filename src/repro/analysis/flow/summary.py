@@ -1,0 +1,385 @@
+"""Intra-procedural function summaries for the flow layer.
+
+One :class:`FunctionSummary` per function/method records, with the
+*syntactic* lock-hold context of every event (the graph resolves tokens
+to identities later):
+
+* lock acquisitions — ``with <token>:`` where the context expression is
+  a plain name/attribute chain, and bare ``<token>.acquire()`` (held
+  until a matching ``.release()`` in the same statement list, else to
+  the end of that list);
+* calls — dotted callee token, line, held tokens, awaited flag;
+* attribute accesses on ``self`` — reads, writes, and *mutations*
+  (``self.events.append(...)``-style calls through a known mutator
+  method, which is how lock-free structures like the reqlog deque are
+  written);
+* blocking primitives (the shared REP401/REP802 table);
+* thread-target registrations: ``threading.Thread(target=f)``,
+  ``pool.submit(f, ...)`` and ``loop.run_in_executor(pool, f, ...)``.
+  An *awaited* ``run_in_executor`` is also a call edge — the caller
+  parks on the result, so its locks stay held for the callee's whole
+  wall-clock run.
+
+Nested ``def``s get their own summaries (they are the repo's idiom for
+closures handed to executors); lambdas are skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.astutil import dotted_name
+from repro.analysis.blocking import flow_blocking_label
+from repro.analysis.flow.symbols import ClassTable, ModuleTable
+
+#: Method names that mutate their receiver in place — calling one of
+#: these on ``self.x`` counts as a *write* to ``x`` for the
+#: shared-state pass.
+MUTATOR_ATTRS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "extend",
+        "extendleft",
+        "insert",
+        "pop",
+        "popleft",
+        "popitem",
+        "remove",
+        "discard",
+        "add",
+        "clear",
+        "update",
+        "setdefault",
+        "move_to_end",
+        "put",
+        "put_nowait",
+        "sort",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Acquire:
+    token: str
+    line: int
+    via: str  # "with" | "acquire"
+    held: tuple[str, ...]  # tokens already held at this acquisition
+
+
+@dataclass(frozen=True)
+class CallSite:
+    token: str
+    line: int
+    held: tuple[str, ...]
+    awaited: bool
+
+
+@dataclass(frozen=True)
+class Access:
+    attr: str
+    line: int
+    kind: str  # "read" | "write"
+    held: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Blocking:
+    label: str
+    line: int
+    held: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ThreadTarget:
+    token: str
+    line: int
+    via: str  # "thread" | "submit" | "run_in_executor"
+    held: tuple[str, ...]
+    awaited: bool
+
+
+@dataclass
+class FunctionSummary:
+    qualname: str  # "<rel>::Class.method" | "<rel>::func" | "...outer.inner"
+    rel: str
+    name: str
+    line: int
+    cls: ClassTable | None
+    module: ModuleTable
+    is_async: bool
+    acquires: list[Acquire] = field(default_factory=list)
+    calls: list[CallSite] = field(default_factory=list)
+    accesses: list[Access] = field(default_factory=list)
+    blocking: list[Blocking] = field(default_factory=list)
+    thread_targets: list[ThreadTarget] = field(default_factory=list)
+    #: nested def name -> qualname of its own summary
+    local_defs: dict[str, str] = field(default_factory=dict)
+
+
+def _lock_token(expr: ast.AST) -> str | None:
+    """A with-item expression that could be a held lock (no calls)."""
+    if isinstance(expr, (ast.Name, ast.Attribute)):
+        return dotted_name(expr)
+    return None
+
+
+class _Summarizer:
+    def __init__(
+        self,
+        module: ModuleTable,
+        cls: ClassTable | None,
+        qualname: str,
+        func: ast.AST,
+        out: "dict[str, FunctionSummary]",
+    ) -> None:
+        self.module = module
+        self.cls = cls
+        self.out = out
+        self.summary = FunctionSummary(
+            qualname=qualname,
+            rel=module.rel,
+            name=func.name,
+            line=func.lineno,
+            cls=cls,
+            module=module,
+            is_async=isinstance(func, ast.AsyncFunctionDef),
+        )
+        out[qualname] = self.summary
+        self._body(func.body, ())
+
+    # -- statement lists -------------------------------------------------
+
+    def _body(self, stmts: list[ast.stmt], held: tuple[str, ...]) -> None:
+        """Walk one statement list, tracking bare acquire()/release()."""
+        live = list(held)
+        for stmt in stmts:
+            self._stmt(stmt, tuple(live))
+            for token, op, line in self._bare_lock_ops(stmt):
+                if op == "acquire":
+                    self.summary.acquires.append(
+                        Acquire(token, line, "acquire", tuple(live))
+                    )
+                    live.append(token)
+                elif token in live:
+                    live.remove(token)
+
+    @staticmethod
+    def _bare_lock_ops(stmt: ast.stmt):
+        """Top-level ``x.acquire()`` / ``x.release()`` expression stmts."""
+        if not isinstance(stmt, ast.Expr):
+            return
+        call = stmt.value
+        if (
+            isinstance(call, ast.Call)
+            and isinstance(call.func, ast.Attribute)
+            and call.func.attr in ("acquire", "release")
+        ):
+            token = dotted_name(call.func.value)
+            if token is not None:
+                yield token, call.func.attr, call.lineno
+
+    def _stmt(self, stmt: ast.stmt, held: tuple[str, ...]) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            child_qual = f"{self.summary.qualname}.{stmt.name}"
+            self.summary.local_defs[stmt.name] = child_qual
+            _Summarizer(self.module, self.cls, child_qual, stmt, self.out)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            inner = held
+            for item in stmt.items:
+                self._expr(item.context_expr, inner)
+                token = _lock_token(item.context_expr)
+                if token is not None:
+                    self.summary.acquires.append(
+                        Acquire(token, item.context_expr.lineno, "with", inner)
+                    )
+                    inner = inner + (token,)
+            self._body(stmt.body, inner)
+            return
+        if isinstance(stmt, ast.If):
+            self._expr(stmt.test, held)
+            self._body(stmt.body, held)
+            self._body(stmt.orelse, held)
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._expr(stmt.iter, held)
+            self._store_target(stmt.target, held)
+            self._body(stmt.body, held)
+            self._body(stmt.orelse, held)
+            return
+        if isinstance(stmt, ast.While):
+            self._expr(stmt.test, held)
+            self._body(stmt.body, held)
+            self._body(stmt.orelse, held)
+            return
+        if isinstance(stmt, ast.Try):
+            self._body(stmt.body, held)
+            for handler in stmt.handlers:
+                self._body(handler.body, held)
+            self._body(stmt.orelse, held)
+            self._body(stmt.finalbody, held)
+            return
+        if isinstance(stmt, ast.Assign):
+            self._expr(stmt.value, held)
+            for target in stmt.targets:
+                self._store_target(target, held)
+            return
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._expr(stmt.value, held)
+            self._store_target(stmt.target, held)
+            return
+        if isinstance(stmt, ast.AugAssign):
+            self._expr(stmt.value, held)
+            attr = self._self_attr(stmt.target)
+            if attr is not None:
+                # += reads then writes
+                self.summary.accesses.append(
+                    Access(attr, stmt.lineno, "read", held)
+                )
+            self._store_target(stmt.target, held)
+            return
+        if isinstance(stmt, ast.ClassDef):
+            return  # classes nested in functions: out of model
+        # Return/Expr/Raise/Assert/Delete/... — scan expressions generically
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self._expr(child, held)
+            elif isinstance(child, ast.stmt):  # pragma: no cover - safety
+                self._stmt(child, held)
+
+    def _store_target(self, target: ast.AST, held: tuple[str, ...]) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._store_target(elt, held)
+            return
+        if isinstance(target, ast.Starred):
+            self._store_target(target.value, held)
+            return
+        attr = self._self_attr(target)
+        if attr is None and isinstance(target, ast.Subscript):
+            # self.x[k] = v mutates x
+            attr = self._self_attr(target.value)
+            self._expr(target.slice, held)
+        if attr is not None:
+            self.summary.accesses.append(
+                Access(attr, target.lineno, "write", held)
+            )
+
+    # -- expressions -----------------------------------------------------
+
+    def _expr(self, node: ast.AST, held: tuple[str, ...]) -> None:
+        if isinstance(node, ast.Lambda):
+            return
+        if isinstance(node, ast.Await):
+            if isinstance(node.value, ast.Call):
+                self._call(node.value, held, awaited=True)
+            else:
+                self._expr(node.value, held)
+            return
+        if isinstance(node, ast.Call):
+            self._call(node, held, awaited=False)
+            return
+        if isinstance(node, ast.Attribute):
+            attr = self._self_attr(node)
+            if attr is not None:
+                kind = "write" if isinstance(node.ctx, (ast.Store, ast.Del)) else "read"
+                self.summary.accesses.append(
+                    Access(attr, node.lineno, kind, held)
+                )
+                return
+            self._expr(node.value, held)
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.expr, ast.keyword, ast.comprehension)):
+                self._expr(child, held)
+            elif isinstance(child, ast.stmt):  # pragma: no cover - safety
+                self._stmt(child, held)
+
+    def _call(
+        self, call: ast.Call, held: tuple[str, ...], awaited: bool
+    ) -> None:
+        token = dotted_name(call.func)
+        if token is not None:
+            self.summary.calls.append(
+                CallSite(token, call.lineno, held, awaited)
+            )
+            parts = token.split(".")
+            if parts[0] == "self" and len(parts) >= 3:
+                # self.x.m(...) reads x; mutator methods write it
+                kind = "write" if parts[-1] in MUTATOR_ATTRS else "read"
+                self.summary.accesses.append(
+                    Access(parts[1], call.lineno, kind, held)
+                )
+        else:
+            # chained/subscripted callee: scan the callee expression
+            self._expr(call.func, held)
+        label = flow_blocking_label(call, awaited)
+        if label is not None:
+            self.summary.blocking.append(Blocking(label, call.lineno, held))
+        self._thread_target(call, token, held, awaited)
+        for arg in call.args:
+            self._expr(arg, held)
+        for kw in call.keywords:
+            self._expr(kw.value, held)
+
+    def _thread_target(
+        self,
+        call: ast.Call,
+        token: str | None,
+        held: tuple[str, ...],
+        awaited: bool,
+    ) -> None:
+        target: ast.AST | None = None
+        via = None
+        if token is not None and self.module.expand(token) == "threading.Thread":
+            for kw in call.keywords:
+                if kw.arg == "target":
+                    target, via = kw.value, "thread"
+        elif isinstance(call.func, ast.Attribute):
+            if call.func.attr == "submit" and call.args:
+                target, via = call.args[0], "submit"
+            elif call.func.attr == "run_in_executor" and len(call.args) >= 2:
+                target, via = call.args[1], "run_in_executor"
+        if target is None:
+            return
+        target_token = dotted_name(target)
+        if target_token is None:
+            return
+        self.summary.thread_targets.append(
+            ThreadTarget(target_token, call.lineno, via, held, awaited)
+        )
+
+    @staticmethod
+    def _self_attr(node: ast.AST) -> str | None:
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node.attr
+        return None
+
+
+def summarize_module(
+    module: ModuleTable, tree: ast.Module
+) -> dict[str, FunctionSummary]:
+    """Summaries for every function and method of one parsed module."""
+    out: dict[str, FunctionSummary] = {}
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _Summarizer(module, None, f"{module.rel}::{node.name}", node, out)
+        elif isinstance(node, ast.ClassDef):
+            cls = module.classes.get(node.name)
+            for stmt in node.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    _Summarizer(
+                        module,
+                        cls,
+                        f"{module.rel}::{node.name}.{stmt.name}",
+                        stmt,
+                        out,
+                    )
+    return out

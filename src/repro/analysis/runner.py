@@ -28,6 +28,8 @@ from repro.analysis.findings import (
     SEVERITY_WARNING,
     Finding,
 )
+from repro.analysis.flow import build_flow_index
+from repro.analysis.sarif import format_sarif
 from repro.analysis.suppressions import SUPPRESSION_CODE, scan_suppressions
 
 
@@ -38,6 +40,10 @@ class LintReport:
     findings: list[Finding] = field(default_factory=list)
     files: int = 0
     suppressed: int = 0
+    #: code -> {"files": scanned, "findings": kept, "suppressed": count};
+    #: a checker showing ``files: 0`` in CI is a checker whose scope
+    #: matched nothing — the REP301 silent-skip failure mode, made loud.
+    checkers: dict[str, dict[str, int]] = field(default_factory=dict)
 
     @property
     def errors(self) -> int:
@@ -66,11 +72,15 @@ class LintReport:
                 "errors": self.errors,
                 "warnings": self.warnings,
                 "suppressed": self.suppressed,
+                "checkers": self.checkers,
                 "findings": [f.to_dict() for f in self.findings],
             },
             indent=2,
             sort_keys=True,
         )
+
+    def format_sarif(self) -> str:
+        return format_sarif(self.findings)
 
 
 def collect_files(
@@ -88,11 +98,14 @@ def collect_files(
         else:
             raise LintError(f"lint target {path} does not exist")
         for candidate in candidates:
-            if candidate.suffix != ".py" or candidate in seen:
+            # dedupe on the resolved path: ``repro lint src/repro/cli.py
+            # src/`` names the same file twice under different spellings
+            resolved = candidate.resolve()
+            if candidate.suffix != ".py" or resolved in seen:
                 continue
             if module_path_matches(candidate.as_posix(), config.exclude):
                 continue
-            seen.add(candidate)
+            seen.add(resolved)
             out.append(candidate)
     return out
 
@@ -114,9 +127,17 @@ def _parse(path: Path) -> "tuple[ParsedFile | None, Finding | None]":
 
 
 def run_lint(
-    paths: "list[str | Path]", config: LintConfig | None = None
+    paths: "list[str | Path]",
+    config: LintConfig | None = None,
+    dump_graph: "str | Path | None" = None,
 ) -> LintReport:
-    """Lint the targets and return the full report (nothing is printed)."""
+    """Lint the targets and return the full report (nothing is printed).
+
+    ``dump_graph`` writes the flow index's canonical JSON (call graph,
+    lock identities, order edges) to the given path — the debugging
+    surface for the flow checkers, byte-identical across runs on the
+    same tree.
+    """
     if config is None:
         config = load_config(paths)
     report = LintReport()
@@ -137,12 +158,36 @@ def run_lint(
         parsed.append(parsed_file)
     by_rel = {f.rel: f for f in parsed}
     project = Project(files=parsed)
+    flow_index = None
+    needs_flow = dump_graph is not None or any(
+        checker.scope == "flow" for checker in CHECKERS.values()
+    )
+    if needs_flow:
+        flow_index = build_flow_index(project)
     for checker in CHECKERS.values():
         if checker.scope == "project":
             raw.extend(checker.check(project, config))
+        elif checker.scope == "flow":
+            raw.extend(checker.check(flow_index, config))
         else:
             for parsed_file in parsed:
                 raw.extend(checker.check(parsed_file, config))
+    if dump_graph is not None and flow_index is not None:
+        Path(dump_graph).write_text(
+            flow_index.to_json() + "\n", encoding="utf-8"
+        )
+    stats = {
+        code: {
+            "files": sum(
+                1
+                for parsed_file in parsed
+                if checker.in_scope(parsed_file.rel, config)
+            ),
+            "findings": 0,
+            "suppressed": 0,
+        }
+        for code, checker in CHECKERS.items()
+    }
     for finding in raw:
         if finding.severity == SEVERITY_OFF:
             continue
@@ -153,7 +198,12 @@ def run_lint(
             and finding.code in holder.allowed.get(finding.line, ())
         ):
             report.suppressed += 1
+            if finding.code in stats:
+                stats[finding.code]["suppressed"] += 1
             continue
         report.findings.append(finding)
+        if finding.code in stats:
+            stats[finding.code]["findings"] += 1
+    report.checkers = dict(sorted(stats.items()))
     report.findings.sort()
     return report

@@ -1,0 +1,82 @@
+"""Minimal SARIF 2.1.0 serialization for lint reports.
+
+Just enough of the standard for GitHub code scanning to ingest via
+``upload-sarif`` and annotate PR diffs inline: one run, one driver,
+every registered checker as a rule, every finding as a result with a
+physical location.  Output is deterministic (sorted keys, findings
+already sorted by the runner) so the artifact diffs cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.base import CHECKERS
+from repro.analysis.findings import SEVERITY_ERROR, Finding
+from repro.analysis.suppressions import SUPPRESSION_CODE
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _rules() -> list[dict]:
+    rules = [
+        {
+            "id": code,
+            "name": checker.name,
+            "shortDescription": {"text": checker.description},
+            "properties": {"origin": checker.origin, "scope": checker.scope},
+        }
+        for code, checker in sorted(CHECKERS.items())
+    ]
+    rules.append(
+        {
+            "id": SUPPRESSION_CODE,
+            "name": "suppression-syntax",
+            "shortDescription": {
+                "text": "malformed or reasonless suppression directive"
+            },
+            "properties": {"origin": "PR 8", "scope": "file"},
+        }
+    )
+    return sorted(rules, key=lambda r: r["id"])
+
+
+def _result(finding: Finding) -> dict:
+    return {
+        "ruleId": finding.code,
+        "level": (
+            "error" if finding.severity == SEVERITY_ERROR else "warning"
+        ),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {"startLine": finding.line},
+                }
+            }
+        ],
+    }
+
+
+def format_sarif(findings: "list[Finding]") -> str:
+    doc = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": _rules(),
+                    }
+                },
+                "results": [_result(f) for f in findings],
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)

@@ -767,9 +767,13 @@ def cmd_lint(args: argparse.Namespace) -> int:
         for code, checker in sorted(CHECKERS.items()):
             print(f"{code}\t{checker.name}\t{checker.scope}\t{checker.origin}")
         return 0
-    report = run_lint(args.paths)
+    report = run_lint(args.paths, dump_graph=args.dump_graph)
+    if args.dump_graph:
+        print(f"flow graph written to {args.dump_graph}", file=sys.stderr)
     if args.format == "json":
         print(report.format_json())
+    elif args.format == "sarif":
+        print(report.format_sarif())
     else:
         print(report.format_text())
     return report.exit_code
@@ -1184,13 +1188,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (default: src)",
     )
     lint.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="finding output format (json is the CI gate's artifact)",
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="finding output format (json is the CI gate's artifact; "
+        "sarif feeds GitHub code scanning)",
     )
     lint.add_argument(
         "--list-checkers", action="store_true",
         help="print the invariant catalog (code, name, scope, origin) "
         "and exit",
+    )
+    lint.add_argument(
+        "--dump-graph", metavar="PATH", default=None,
+        help="write the flow index (call graph, lock identities, "
+        "acquisition-order edges) as canonical JSON — byte-identical "
+        "across runs on the same tree",
     )
     lint.set_defaults(func=cmd_lint)
 

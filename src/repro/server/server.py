@@ -430,6 +430,10 @@ class SearchServer:
                 # A concurrent caller (poll task vs reload RPC) already
                 # swapped this epoch in while we waited for the lock.
                 return False
+            # repro-lint: allow[REP802] -- the drain-and-swap design opens
+            # the new store *under* the pause lock on purpose: batches must
+            # not run while generations swap, and the event loop itself
+            # stays free (the open happens on the executor, awaited here).
             service, epoch = await loop.run_in_executor(
                 self._executor, self._open_service
             )
@@ -903,6 +907,9 @@ class ServerThread:
         self._thread.start()
         if not self._ready.wait(self._start_timeout):
             raise ReproError("server did not start in time")
+        # repro-lint: allow[REP803] -- _startup_error is published by the
+        # server thread strictly before _ready.set(); the Event wait above
+        # is the happens-before edge, so no lock is needed here.
         if self._startup_error is not None:
             raise self._startup_error
         return self
@@ -910,6 +917,9 @@ class ServerThread:
     def _run(self) -> None:
         loop = asyncio.new_event_loop()
         asyncio.set_event_loop(loop)
+        # repro-lint: allow[REP803] -- _loop is written once before
+        # _ready.set(); stop() only runs after start() returned, which
+        # waited on that Event — handshake, not shared mutable state.
         self._loop = loop
         try:
             loop.run_until_complete(self.server.start())

@@ -1,0 +1,593 @@
+"""Flow-layer tests: symbol tables, call graph, and REP801/802/803.
+
+Each checker gets a good/bad/suppressed fixture package (including the
+A->B->A two-function lock cycle and a cross-file one for REP801), the
+graph dump is pinned byte-identical across runs, the SARIF serializer
+round-trips, and an inverted acquisition injected into a copy of the
+*real* ``server/cache.py`` must trip REP801 — the gate the ISSUE names.
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis import LintConfig, run_lint
+from repro.analysis.flow import build_flow_index
+from repro.analysis.base import Project, ParsedFile
+from repro.cli import main
+
+import ast
+
+REPO = Path(__file__).resolve().parents[1]
+SRC = REPO / "src"
+
+
+def write_tree(tmp_path, files):
+    root = tmp_path / "proj"
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return root
+
+
+def lint_tree(tmp_path, files):
+    return run_lint([write_tree(tmp_path, files)], config=LintConfig())
+
+
+def codes(report, code=None):
+    found = [f.code for f in report.findings]
+    return [c for c in found if c == code] if code else found
+
+
+def index_for(tmp_path, files):
+    root = write_tree(tmp_path, files)
+    parsed = []
+    for path in sorted(root.rglob("*.py")):
+        rel = path.as_posix()
+        parsed.append(
+            ParsedFile(rel=rel, source=path.read_text(),
+                       tree=ast.parse(path.read_text(), filename=rel))
+        )
+    return build_flow_index(Project(files=parsed))
+
+
+# --------------------------------------------------------------- fixtures
+
+CYCLE_ONE_MODULE = {
+    "pkg/pair.py": (
+        "import threading\n"
+        "\n"
+        "\n"
+        "class A:\n"
+        '    def __init__(self, b: "B") -> None:\n'
+        "        self._lock = threading.Lock()\n"
+        "        self._b = b\n"
+        "\n"
+        "    def forward(self):\n"
+        "        with self._lock:\n"
+        "            self._b.poke()\n"
+        "\n"
+        "    def reenter(self):\n"
+        "        with self._lock:\n"
+        "            pass\n"
+        "\n"
+        "\n"
+        "class B:\n"
+        '    def __init__(self, a: "A") -> None:\n'
+        "        self._lock = threading.Lock()\n"
+        "        self._a = a\n"
+        "\n"
+        "    def poke(self):\n"
+        "        with self._lock:\n"
+        "            pass\n"
+        "\n"
+        "    def backward(self):\n"
+        "        with self._lock:\n"
+        "            self._a.reenter()\n"
+    ),
+}
+
+CYCLE_CROSS_FILE = {
+    "pkg/a.py": (
+        "import threading\n"
+        "\n"
+        "from pkg.b import B\n"
+        "\n"
+        "\n"
+        "class A:\n"
+        "    def __init__(self) -> None:\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._b = B(self)\n"
+        "\n"
+        "    def forward(self):\n"
+        "        with self._lock:\n"
+        "            self._b.poke()\n"
+        "\n"
+        "    def reenter(self):\n"
+        "        with self._lock:\n"
+        "            pass\n"
+    ),
+    "pkg/b.py": (
+        "import threading\n"
+        "\n"
+        "from pkg.a import A\n"
+        "\n"
+        "\n"
+        "class B:\n"
+        '    def __init__(self, a: "A") -> None:\n'
+        "        self._lock = threading.Lock()\n"
+        "        self._a = a\n"
+        "\n"
+        "    def poke(self):\n"
+        "        with self._lock:\n"
+        "            pass\n"
+        "\n"
+        "    def backward(self):\n"
+        "        with self._lock:\n"
+        "            self._a.reenter()\n"
+    ),
+}
+
+CONSISTENT_ORDER = {
+    "pkg/pair.py": (
+        "import threading\n"
+        "\n"
+        "\n"
+        "class Outer:\n"
+        '    def __init__(self, inner: "Inner") -> None:\n'
+        "        self._lock = threading.Lock()\n"
+        "        self._inner = inner\n"
+        "\n"
+        "    def one(self):\n"
+        "        with self._lock:\n"
+        "            self._inner.poke()\n"
+        "\n"
+        "    def two(self):\n"
+        "        with self._lock:\n"
+        "            self._inner.poke()\n"
+        "\n"
+        "\n"
+        "class Inner:\n"
+        "    def __init__(self) -> None:\n"
+        "        self._lock = threading.Lock()\n"
+        "\n"
+        "    def poke(self):\n"
+        "        with self._lock:\n"
+        "            pass\n"
+    ),
+}
+
+
+class TestLockOrder:
+    def test_two_function_cycle_in_one_module(self, tmp_path):
+        report = lint_tree(tmp_path, CYCLE_ONE_MODULE)
+        findings = [f for f in report.findings if f.code == "REP801"]
+        assert len(findings) == 1
+        message = findings[0].message
+        assert "lock-order cycle" in message
+        assert "A._lock" in message and "B._lock" in message
+        # both acquisition sites are named, so the fix is mechanical
+        assert message.count("taken at") >= 2
+
+    def test_cross_file_cycle(self, tmp_path):
+        report = lint_tree(tmp_path, CYCLE_CROSS_FILE)
+        findings = [f for f in report.findings if f.code == "REP801"]
+        assert len(findings) == 1
+        assert "a.py" in findings[0].message
+        assert "b.py" in findings[0].message
+
+    def test_consistent_order_is_clean(self, tmp_path):
+        report = lint_tree(tmp_path, CONSISTENT_ORDER)
+        assert codes(report, "REP801") == []
+
+    def test_plain_lock_self_reacquire_is_a_deadlock(self, tmp_path):
+        report = lint_tree(tmp_path, {
+            "pkg/m.py": (
+                "import threading\n"
+                "\n"
+                "\n"
+                "class R:\n"
+                "    def __init__(self) -> None:\n"
+                "        self._lock = threading.Lock()\n"
+                "\n"
+                "    def outer(self):\n"
+                "        with self._lock:\n"
+                "            self.inner()\n"
+                "\n"
+                "    def inner(self):\n"
+                "        with self._lock:\n"
+                "            pass\n"
+            ),
+        })
+        findings = [f for f in report.findings if f.code == "REP801"]
+        assert len(findings) == 1
+        assert "self-deadlock" in findings[0].message
+
+    def test_rlock_reentry_is_legal(self, tmp_path):
+        report = lint_tree(tmp_path, {
+            "pkg/m.py": (
+                "import threading\n"
+                "\n"
+                "\n"
+                "class R:\n"
+                "    def __init__(self) -> None:\n"
+                "        self._lock = threading.RLock()\n"
+                "\n"
+                "    def outer(self):\n"
+                "        with self._lock:\n"
+                "            self.inner()\n"
+                "\n"
+                "    def inner(self):\n"
+                "        with self._lock:\n"
+                "            pass\n"
+            ),
+        })
+        assert codes(report, "REP801") == []
+
+    def test_reasoned_suppression_silences(self, tmp_path):
+        report = lint_tree(tmp_path, {
+            "pkg/m.py": (
+                "import threading\n"
+                "\n"
+                "\n"
+                "class R:\n"
+                "    def __init__(self) -> None:\n"
+                "        self._lock = threading.Lock()\n"
+                "\n"
+                "    def outer(self):\n"
+                "        with self._lock:\n"
+                "            self.inner()\n"
+                "\n"
+                "    def inner(self):\n"
+                "        # repro-lint: allow[REP801] -- fixture: outer()'s\n"
+                "        # with-block releases before this path in prod.\n"
+                "        with self._lock:\n"
+                "            pass\n"
+            ),
+        })
+        assert codes(report, "REP801") == []
+        assert report.suppressed == 1
+
+    def test_injected_inversion_in_real_cache_sources(self, tmp_path):
+        """The ISSUE's gate: inverting acquisition order against the real
+        ``ResultCache`` must trip REP801; the pristine copy stays clean."""
+        source = (SRC / "repro" / "server" / "cache.py").read_text()
+        clean = lint_tree(tmp_path, {"server/cache.py": source})
+        assert codes(clean, "REP801") == []
+
+        probe = (
+            "\n\n"
+            "class _InvertedProbe:\n"
+            '    def __init__(self, cache: "ResultCache") -> None:\n'
+            "        self._lock = threading.Lock()\n"
+            "        self._cache = cache\n"
+            "\n"
+            "    def poke(self) -> None:\n"
+            "        with self._lock:\n"
+            "            pass\n"
+            "\n"
+            "    def probe(self, key) -> None:\n"
+            "        with self._lock:\n"
+            "            self._cache.get(key)\n"
+            "\n"
+            "\n"
+            "class _ProbedCache(ResultCache):\n"
+            "    def attach(self) -> None:\n"
+            "        self._probe = _InvertedProbe(self)\n"
+            "\n"
+            "    def inverted(self) -> None:\n"
+            "        with self._lock:\n"
+            "            self._probe.poke()\n"
+        )
+        report = lint_tree(
+            tmp_path.joinpath("mutated"),
+            {"server/cache.py": source + probe},
+        )
+        findings = [f for f in report.findings if f.code == "REP801"]
+        assert findings, "inverted acquisition order must be detected"
+        message = " ".join(f.message for f in findings)
+        assert "ResultCache._lock" in message
+        assert "_InvertedProbe._lock" in message
+
+
+class TestBlockingUnderLock:
+    def test_direct_io_under_lock(self, tmp_path):
+        report = lint_tree(tmp_path, {
+            "pkg/m.py": (
+                "import threading\n"
+                "\n"
+                "\n"
+                "class S:\n"
+                "    def __init__(self) -> None:\n"
+                "        self._lock = threading.Lock()\n"
+                "\n"
+                "    def load(self, path):\n"
+                "        with self._lock:\n"
+                "            return open(path).read()\n"
+            ),
+        })
+        findings = [f for f in report.findings if f.code == "REP802"]
+        assert len(findings) == 1
+        assert "open()" in findings[0].message
+        assert findings[0].line == 10  # the open() call, not the with
+
+    def test_interprocedural_sleep_via_helper(self, tmp_path):
+        report = lint_tree(tmp_path, {
+            "pkg/m.py": (
+                "import threading\n"
+                "import time\n"
+                "\n"
+                "\n"
+                "def backoff():\n"
+                "    time.sleep(0.1)\n"
+                "\n"
+                "\n"
+                "class S:\n"
+                "    def __init__(self) -> None:\n"
+                "        self._lock = threading.Lock()\n"
+                "\n"
+                "    def tick(self):\n"
+                "        with self._lock:\n"
+                "            backoff()\n"
+            ),
+        })
+        findings = [f for f in report.findings if f.code == "REP802"]
+        assert len(findings) == 1
+        message = findings[0].message
+        # the witness chain names the path to the sleep
+        assert "backoff" in message and "time.sleep" in message
+        assert "via" in message
+
+    def test_io_outside_lock_is_clean(self, tmp_path):
+        report = lint_tree(tmp_path, {
+            "pkg/m.py": (
+                "import threading\n"
+                "\n"
+                "\n"
+                "class S:\n"
+                "    def __init__(self) -> None:\n"
+                "        self._lock = threading.Lock()\n"
+                "        self._data = None\n"
+                "\n"
+                "    def load(self, path):\n"
+                "        blob = open(path).read()\n"
+                "        with self._lock:\n"
+                "            self._data = blob\n"
+            ),
+        })
+        assert codes(report, "REP802") == []
+
+    def test_reasoned_suppression_silences(self, tmp_path):
+        report = lint_tree(tmp_path, {
+            "pkg/m.py": (
+                "import threading\n"
+                "\n"
+                "\n"
+                "class S:\n"
+                "    def __init__(self) -> None:\n"
+                "        self._lock = threading.Lock()\n"
+                "\n"
+                "    def load(self, path):\n"
+                "        with self._lock:\n"
+                "            # repro-lint: allow[REP802] -- fixture: the\n"
+                "            # swap design reopens under the lock on purpose.\n"
+                "            return open(path).read()\n"
+            ),
+        })
+        assert codes(report, "REP802") == []
+        assert report.suppressed == 1
+
+
+SHARED_STATE_BAD = {
+    "pkg/m.py": (
+        "import threading\n"
+        "\n"
+        "\n"
+        "class W:\n"
+        "    def __init__(self) -> None:\n"
+        "        self.count = 0\n"
+        "        self._thread = threading.Thread(target=self._run)\n"
+        "\n"
+        "    def _run(self):\n"
+        "        self.count += 1\n"
+        "\n"
+        "    def snapshot(self):\n"
+        "        return self.count\n"
+    ),
+}
+
+
+class TestUnguardedSharedState:
+    def test_thread_written_attr_read_unlocked(self, tmp_path):
+        report = lint_tree(tmp_path, SHARED_STATE_BAD)
+        findings = [f for f in report.findings if f.code == "REP803"]
+        assert len(findings) == 1
+        message = findings[0].message
+        assert "'count'" in message
+        assert "_run" in message  # names the thread-entry root
+        assert "no common lock" in message
+
+    def test_common_lock_on_both_sides_is_clean(self, tmp_path):
+        report = lint_tree(tmp_path, {
+            "pkg/m.py": (
+                "import threading\n"
+                "\n"
+                "\n"
+                "class W:\n"
+                "    def __init__(self) -> None:\n"
+                "        self._lock = threading.Lock()\n"
+                "        self.count = 0\n"
+                "        self._thread = threading.Thread(target=self._run)\n"
+                "\n"
+                "    def _run(self):\n"
+                "        with self._lock:\n"
+                "            self.count += 1\n"
+                "\n"
+                "    def snapshot(self):\n"
+                "        with self._lock:\n"
+                "            return self.count\n"
+            ),
+        })
+        assert codes(report, "REP803") == []
+
+    def test_executor_submit_counts_as_thread_entry(self, tmp_path):
+        report = lint_tree(tmp_path, {
+            "pkg/m.py": (
+                "class E:\n"
+                "    def __init__(self, pool) -> None:\n"
+                "        self._pool = pool\n"
+                "        self.done = 0\n"
+                "\n"
+                "    def kick(self):\n"
+                "        self._pool.submit(self._work)\n"
+                "\n"
+                "    def _work(self):\n"
+                "        self.done += 1\n"
+                "\n"
+                "    def status(self):\n"
+                "        return self.done\n"
+            ),
+        })
+        findings = [f for f in report.findings if f.code == "REP803"]
+        assert len(findings) == 1
+        assert "'done'" in findings[0].message
+
+    def test_event_attr_is_self_synchronized(self, tmp_path):
+        report = lint_tree(tmp_path, {
+            "pkg/m.py": (
+                "import threading\n"
+                "\n"
+                "\n"
+                "class W:\n"
+                "    def __init__(self) -> None:\n"
+                "        self._wake = threading.Event()\n"
+                "        self._thread = threading.Thread(target=self._run)\n"
+                "\n"
+                "    def _run(self):\n"
+                "        self._wake.set()\n"
+                "\n"
+                "    def poll(self):\n"
+                "        return self._wake.is_set()\n"
+            ),
+        })
+        assert codes(report, "REP803") == []
+
+    def test_reasoned_suppression_silences(self, tmp_path):
+        files = dict(SHARED_STATE_BAD)
+        files["pkg/m.py"] = files["pkg/m.py"].replace(
+            "        self.count += 1\n",
+            "        # repro-lint: allow[REP803] -- fixture: single-writer\n"
+            "        # counter, stale reads are fine for monitoring.\n"
+            "        self.count += 1\n",
+        )
+        report = lint_tree(tmp_path, files)
+        assert codes(report, "REP803") == []
+        assert report.suppressed == 1
+
+
+class TestFlowIndex:
+    def test_thread_roots_and_origins(self, tmp_path):
+        index = index_for(tmp_path, SHARED_STATE_BAD)
+        roots = [q for q in index.thread_roots if q.endswith("W._run")]
+        assert len(roots) == 1
+        assert index.thread_roots[roots[0]][0].via == "thread"
+        assert roots[0] in index.thread_reachable
+        assert index.thread_origins[roots[0]] == (roots[0],)
+
+    def test_entry_held_propagates_with_provenance(self, tmp_path):
+        index = index_for(tmp_path, CYCLE_ONE_MODULE)
+        poke = next(q for q in index.summaries if q.endswith("B.poke"))
+        held = index.entry_held[poke]
+        assert any(ident.endswith("A._lock") for ident in held)
+        (rel, line), = [
+            site for ident, site in held.items()
+            if ident.endswith("A._lock")
+        ]
+        assert rel.endswith("pair.py") and line == 10  # the with in forward
+
+    def test_dump_is_byte_identical_across_runs(self, tmp_path):
+        root = write_tree(tmp_path, CYCLE_CROSS_FILE)
+        first, second = tmp_path / "g1.json", tmp_path / "g2.json"
+        run_lint([root], config=LintConfig(), dump_graph=first)
+        run_lint([root], config=LintConfig(), dump_graph=second)
+        assert first.read_bytes() == second.read_bytes()
+        doc = json.loads(first.read_text())
+        assert set(doc) == {
+            "locks", "functions", "edges", "thread_roots",
+            "lock_order_edges",
+        }
+        assert any(
+            lock["ident"].endswith("A._lock") for lock in doc["locks"]
+        )
+        assert doc["lock_order_edges"]  # the cycle's edges are visible
+
+    def test_cli_dump_graph_flag(self, tmp_path, capsys):
+        root = write_tree(tmp_path, CONSISTENT_ORDER)
+        out = tmp_path / "graph.json"
+        code = main(["lint", str(root), "--dump-graph", str(out)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "flow graph written" in captured.err
+        assert json.loads(out.read_text())["functions"]
+
+
+class TestRequireAndDedupe:
+    def test_ambiguous_anchor_warns_instead_of_silent_pass(self, tmp_path):
+        server = (
+            "class SearchServer:\n"
+            "    def _parse_search(self, payload):\n"
+            '        threshold = payload.get("threshold")\n'
+            "        return [threshold]\n"
+        )
+        report = lint_tree(tmp_path, {
+            "one/server/server.py": server,
+            "two/server/server.py": server,
+        })
+        warnings = [f for f in report.findings if f.code == "REP301"]
+        assert len(warnings) == 1
+        assert warnings[0].severity == "warning"
+        assert "ambiguous" in warnings[0].message
+        assert "one/server/server.py" in warnings[0].message
+        assert "two/server/server.py" in warnings[0].message
+        assert report.exit_code == 0  # a warning, not an error
+
+    def test_overlapping_targets_lint_once(self, tmp_path):
+        root = write_tree(tmp_path, CYCLE_CROSS_FILE)
+        once = run_lint([root], config=LintConfig())
+        twice = run_lint(
+            [root / "pkg" / "a.py", root], config=LintConfig()
+        )
+        assert twice.files == once.files == 2
+        assert codes(twice) == codes(once)
+
+
+class TestSarif:
+    def test_sarif_round_trip_minimal_fields(self, tmp_path):
+        report = lint_tree(tmp_path, SHARED_STATE_BAD)
+        doc = json.loads(report.format_sarif())
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        rule_ids = {rule["id"] for rule in driver["rules"]}
+        assert {"REP000", "REP801", "REP802", "REP803"} <= rule_ids
+        assert run["results"], "the fixture finding must serialize"
+        result = run["results"][0]
+        assert result["ruleId"] == "REP803"
+        assert result["level"] == "error"
+        assert result["message"]["text"]
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("pkg/m.py")
+        assert location["region"]["startLine"] >= 1
+
+    def test_clean_run_serializes_empty_results(self, tmp_path):
+        report = lint_tree(tmp_path, CONSISTENT_ORDER)
+        doc = json.loads(report.format_sarif())
+        assert doc["runs"][0]["results"] == []
+
+    def test_cli_sarif_format(self, tmp_path, capsys):
+        root = write_tree(tmp_path, CONSISTENT_ORDER)
+        code = main(["lint", str(root), "--format", "sarif"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert json.loads(out)["version"] == "2.1.0"

@@ -27,6 +27,7 @@ SRC = REPO / "src"
 
 EXPECTED_CODES = {
     "REP101", "REP201", "REP301", "REP401", "REP501", "REP601", "REP701",
+    "REP801", "REP802", "REP803",
 }
 
 
@@ -51,7 +52,7 @@ class TestRegistry:
             assert isinstance(checker, Checker)
             assert checker.code == code
             assert checker.name and checker.description and checker.origin
-            assert checker.scope in ("file", "project")
+            assert checker.scope in ("file", "project", "flow")
 
     def test_suppression_code_reserved_not_registered(self):
         assert SUPPRESSION_CODE == "REP000"
@@ -665,6 +666,27 @@ class TestSelfRunAndCli:
         assert report.exit_code == 0
         # The justified broad excepts are suppressed, not invisible.
         assert report.suppressed >= 6
+        # The flow checkers' by-design spots carry reasoned suppressions:
+        # the drain-and-swap store open under the pause lock (REP802) and
+        # the lock-free reqlog / Event-published server handshake (REP803).
+        assert report.checkers["REP802"]["suppressed"] >= 1
+        assert report.checkers["REP803"]["suppressed"] >= 5
+        for code in ("REP801", "REP802", "REP803"):
+            assert report.checkers[code]["findings"] == 0
+
+    def test_json_checkers_block_is_stable(self, tmp_path):
+        report = lint_file(
+            tmp_path,
+            "x.py",
+            "flag = hit.t_start == 0\n"
+            "ok = win.t_start == 0  # repro-lint: allow[REP101] -- local\n",
+        )
+        payload = json.loads(report.format_json())
+        assert sorted(payload["checkers"]) == sorted(EXPECTED_CODES)
+        block = payload["checkers"]["REP101"]
+        assert block == {"files": 1, "findings": 1, "suppressed": 1}
+        # Scoped checkers report how many files they actually looked at.
+        assert payload["checkers"]["REP401"]["files"] == 0
 
     def test_cli_lint_src_json(self, capsys):
         code = main(["lint", str(SRC), "--format", "json"])
